@@ -1,0 +1,12 @@
+// Figure 3c: CR vs NRMSE on the JHTDB turbulence analogue.
+// Paper shape: 5x over SZ and 20% over VAE-SR at equal NRMSE (turbulence has
+// the weakest temporal correlation, so the keyframe advantage is smallest).
+#include "fig3_common.h"
+
+int main() {
+  glsc::bench::Fig3Options options;
+  options.include_gcd = false;
+  glsc::bench::RunFig3(glsc::data::DatasetKind::kTurbulence, "Figure 3c",
+                       options);
+  return 0;
+}

@@ -1,0 +1,11 @@
+// Figure 3b: CR vs NRMSE on the S3D combustion analogue.
+// Paper shape: up to 10x over SZ3 and 62% over VAE-SR at equal NRMSE.
+#include "fig3_common.h"
+
+int main() {
+  glsc::bench::Fig3Options options;
+  options.include_gcd = false;
+  glsc::bench::RunFig3(glsc::data::DatasetKind::kCombustion, "Figure 3b",
+                       options);
+  return 0;
+}

@@ -1,0 +1,157 @@
+// Figure 6: visual comparison at CR ~= 100. Writes PGM images (full frame +
+// zoomed crop, the paper's red-rectangle inset) for the ground truth and for
+// each method's reconstruction at a compression ratio near 100, and prints
+// the achieved (CR, NRMSE) per method.
+#include <cstdio>
+
+#include "baselines/sz_like.h"
+#include "baselines/vae_sr.h"
+#include "baselines/zfp_like.h"
+#include "data/pgm.h"
+#include "harness.h"
+#include "tensor/metrics.h"
+
+namespace {
+
+using namespace glsc;
+
+// Picks the rule-based bound whose CR lands closest to the target.
+template <typename Codec>
+std::pair<double, double> RuleAtCr(Codec& codec, const Tensor& field,
+                                   double target_cr, Tensor* recon_out) {
+  const double range = field.MaxValue() - field.MinValue();
+  double best_gap = 1e300;
+  std::pair<double, double> best{0.0, 0.0};
+  for (double rel = 1e-4; rel <= 0.3; rel *= 1.6) {
+    const auto bytes = codec.Compress(field, rel * range);
+    const double cr = static_cast<double>(field.numel() * sizeof(float)) /
+                      static_cast<double>(bytes.size());
+    if (std::fabs(cr - target_cr) < best_gap) {
+      best_gap = std::fabs(cr - target_cr);
+      *recon_out = codec.Decompress(bytes);
+      best = {cr, Nrmse(field, *recon_out)};
+    }
+  }
+  return best;
+}
+
+void Dump(const std::string& name, const Tensor& window, std::int64_t frame,
+          std::int64_t hw_edge) {
+  Tensor img({hw_edge, hw_edge});
+  std::copy_n(window.data() + frame * hw_edge * hw_edge, hw_edge * hw_edge,
+              img.data());
+  data::WritePgmWithZoom("fig6_out/" + name, img, hw_edge / 2, hw_edge / 2,
+                         hw_edge / 4, 4);
+}
+
+}  // namespace
+
+int main() {
+  const bench::Preset preset = bench::MakePreset(data::DatasetKind::kClimate);
+  data::SequenceDataset dataset(
+      data::GenerateField(data::DatasetKind::kClimate, preset.spec));
+  const std::int64_t n = preset.glsc.window;
+  const std::int64_t edge = preset.spec.height;
+  const std::int64_t show_frame = 7;  // a generated (non-key) frame
+
+  bench::PrintHeader(
+      "Figure 6 — Visual comparison near CR=100 on climate-e3sm "
+      "(PGM files written to fig6_out/)");
+
+  const Tensor window = dataset.NormalizedWindow(0, 0, n);
+  Dump("ground_truth", window, show_frame, edge);
+
+  // ---- Ours: binary-search tau for CR ~ 100 ----
+  {
+    auto ours = core::GetOrTrainGlsc(dataset, preset.glsc, preset.budget,
+                                     bench::ArtifactsDir(),
+                                     std::string("glsc_") +
+                                         data::DatasetName(preset.kind));
+    double best_gap = 1e300;
+    // tau = -1 disables corrections (keyframe latents only — the highest CR
+    // this model reaches); positive taus add corrections.
+    for (const double tau : {-1.0, 2.0, 1.0, 0.5, 0.25, 0.12}) {
+      Tensor recon;
+      const auto compressed = ours->Compress(window, tau, 0, &recon);
+      const double cr =
+          static_cast<double>(window.numel() * sizeof(float)) /
+          static_cast<double>(compressed.TotalBytes());
+      if (std::fabs(cr - 100.0) < best_gap) {
+        best_gap = std::fabs(cr - 100.0);
+        Dump("ours", recon, show_frame, edge);
+        std::printf("%-10s CR=%-8.1f NRMSE=%.4e (tau=%.3g)\n", "Ours", cr,
+                    Nrmse(window, recon), tau);
+      }
+    }
+  }
+
+  // ---- VAE-SR ----
+  {
+    baselines::VaeSrConfig config;
+    config.vae = preset.glsc.vae;
+    config.vae.seed += 100;
+    config.sr_channels = 16;
+    auto vaesr = core::GetOrTrain<baselines::VAESRCompressor>(
+        bench::ArtifactsDir(),
+        std::string("vaesr_") + data::DatasetName(preset.kind),
+        [&] { return std::make_unique<baselines::VAESRCompressor>(config); },
+        [&](baselines::VAESRCompressor* m) {
+          m->Train(dataset, preset.budget.vae, preset.budget.vae.iterations,
+                   32);
+        });
+    const auto compressed = vaesr->Compress(window);
+    const Tensor recon = vaesr->Decompress(compressed);
+    const double cr = static_cast<double>(window.numel() * sizeof(float)) /
+                      static_cast<double>(compressed.frames.TotalBytes());
+    Dump("vae_sr", recon, show_frame, edge);
+    std::printf("%-10s CR=%-8.1f NRMSE=%.4e\n", "VAE-SR", cr,
+                Nrmse(window, recon));
+  }
+
+  // ---- CDC (eps) ----
+  {
+    baselines::CdcConfig config;
+    config.vae = preset.glsc.vae;
+    config.vae.seed += 200;
+    config.model_channels = 16;
+    config.schedule_steps = preset.glsc.schedule_steps;
+    auto cdc = core::GetOrTrain<baselines::CDCCompressor>(
+        bench::ArtifactsDir(),
+        std::string("cdc_eps_") + data::DatasetName(preset.kind),
+        [&] { return std::make_unique<baselines::CDCCompressor>(config); },
+        [&](baselines::CDCCompressor* m) {
+          m->Train(dataset, preset.budget.vae,
+                   preset.budget.diffusion.iterations, 32);
+        });
+    const auto compressed = cdc->Compress(window);
+    Rng rng(3);
+    const Tensor recon = cdc->Decompress(compressed, 32, rng);
+    const double cr = static_cast<double>(window.numel() * sizeof(float)) /
+                      static_cast<double>(compressed.frames.TotalBytes());
+    Dump("cdc", recon, show_frame, edge);
+    std::printf("%-10s CR=%-8.1f NRMSE=%.4e\n", "CDC", cr,
+                Nrmse(window, recon));
+  }
+
+  // ---- SZ3-like & ZFP-like at CR ~ 100 ----
+  {
+    Tensor field({n, edge, edge});
+    std::copy_n(window.data(), field.numel(), field.data());
+    baselines::SZLikeCompressor sz;
+    Tensor recon;
+    const auto [cr, nrmse] = RuleAtCr(sz, field, 100.0, &recon);
+    Dump("sz3", recon, show_frame, edge);
+    std::printf("%-10s CR=%-8.1f NRMSE=%.4e\n", "SZ3-like", cr, nrmse);
+
+    baselines::ZFPLikeCompressor zfp;
+    Tensor zrecon;
+    const auto [zcr, znrmse] = RuleAtCr(zfp, field, 100.0, &zrecon);
+    Dump("zfp", zrecon, show_frame, edge);
+    std::printf("%-10s CR=%-8.1f NRMSE=%.4e\n", "ZFP-like", zcr, znrmse);
+  }
+
+  bench::PrintNote(
+      "compare fig6_out/*_zoom.pgm: learned methods keep structure at CR~100 "
+      "where rule-based methods blur or block");
+  return 0;
+}

@@ -1,0 +1,192 @@
+// Micro-benchmarks (google-benchmark) for the kernels that dominate encode
+// and decode time — the quantitative backing for Table 2's cost breakdown.
+#include <benchmark/benchmark.h>
+
+#include "codec/gaussian_model.h"
+#include "codec/huffman.h"
+#include "codec/range_coder.h"
+#include "data/field_generators.h"
+#include "diffusion/spacetime_unet.h"
+#include "nn/attention.h"
+#include "nn/conv.h"
+#include "postprocess/residual_pca.h"
+#include "tensor/gemm.h"
+#include "tensor/im2col.h"
+#include "tensor/ops.h"
+
+namespace {
+
+using namespace glsc;
+
+void BM_Gemm(benchmark::State& state) {
+  const auto n = state.range(0);
+  Rng rng(1);
+  Tensor a = Tensor::Randn({n, n}, rng);
+  Tensor b = Tensor::Randn({n, n}, rng);
+  Tensor c({n, n});
+  for (auto _ : state) {
+    MatMul(a.data(), b.data(), c.data(), n, n, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_Conv2dForward(benchmark::State& state) {
+  const auto edge = state.range(0);
+  Rng rng(2);
+  nn::Conv2d conv(16, 16, 3, 1, 1, rng);
+  Tensor x = Tensor::Randn({4, 16, edge, edge}, rng);
+  for (auto _ : state) {
+    Tensor y = conv.Forward(x, false);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_Conv2dForward)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_ConvForwardBackward(benchmark::State& state) {
+  Rng rng(3);
+  nn::Conv2d conv(16, 16, 3, 1, 1, rng);
+  Tensor x = Tensor::Randn({4, 16, 16, 16}, rng);
+  for (auto _ : state) {
+    Tensor y = conv.Forward(x, true);
+    Tensor g = conv.Backward(y);
+    benchmark::DoNotOptimize(g.data());
+  }
+}
+BENCHMARK(BM_ConvForwardBackward);
+
+void BM_AttentionForward(benchmark::State& state) {
+  const auto len = state.range(0);
+  Rng rng(4);
+  nn::MultiHeadSelfAttention attn(32, 4, rng);
+  Tensor x = Tensor::Randn({4, len, 32}, rng);
+  for (auto _ : state) {
+    Tensor y = attn.Forward(x, false);
+    // Consume the cache so the next Forward starts clean.
+    attn.Backward(Tensor::Zeros(y.shape()));
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_AttentionForward)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_UNetForwardLatent(benchmark::State& state) {
+  diffusion::UNetConfig config;
+  config.latent_channels = 8;
+  config.model_channels = 16;
+  config.heads = 4;
+  diffusion::SpaceTimeUNet unet(config);
+  Rng rng(5);
+  Tensor x = Tensor::Randn({16, 8, 8, 8}, rng);
+  for (auto _ : state) {
+    Tensor y = unet.Forward(x, 100);
+    unet.Backward(Tensor::Zeros(y.shape()));
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_UNetForwardLatent);
+
+void BM_UNetForwardPixel(benchmark::State& state) {
+  diffusion::UNetConfig config;
+  config.latent_channels = 1;
+  config.in_channels = 2;
+  config.out_channels = 1;
+  config.model_channels = 16;
+  config.heads = 4;
+  config.stage1_attention = false;
+  diffusion::SpaceTimeUNet unet(config);
+  Rng rng(6);
+  Tensor x = Tensor::Randn({16, 2, 32, 32}, rng);
+  for (auto _ : state) {
+    Tensor y = unet.Forward(x, 100);
+    unet.Backward(Tensor::Zeros(y.shape()));
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_UNetForwardPixel);
+
+void BM_RangeCoderEncode(benchmark::State& state) {
+  Rng rng(7);
+  std::vector<int> symbols(1 << 14);
+  for (auto& s : symbols) s = static_cast<int>(rng.UniformInt(16));
+  for (auto _ : state) {
+    codec::RangeEncoder enc;
+    for (const int s : symbols) {
+      enc.Encode(static_cast<std::uint32_t>(s) * 4, 4, 64);
+    }
+    auto bytes = enc.Finish();
+    benchmark::DoNotOptimize(bytes.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(symbols.size()));
+}
+BENCHMARK(BM_RangeCoderEncode);
+
+void BM_GaussianModelEncode(benchmark::State& state) {
+  Rng rng(8);
+  const Shape shape{6, 8, 8, 8};
+  Tensor mu = Tensor::Zeros(shape);
+  Tensor sigma = Tensor::Full(shape, 2.0f);
+  Tensor y(shape);
+  for (std::int64_t i = 0; i < y.numel(); ++i) {
+    y[i] = std::nearbyint(2.0f * rng.NormalF());
+  }
+  codec::GaussianConditionalModel model;
+  for (auto _ : state) {
+    auto bytes = model.Encode(y, mu, sigma);
+    benchmark::DoNotOptimize(bytes.data());
+  }
+  state.SetItemsProcessed(state.iterations() * y.numel());
+}
+BENCHMARK(BM_GaussianModelEncode);
+
+void BM_HuffmanRoundTrip(benchmark::State& state) {
+  Rng rng(9);
+  std::vector<std::int32_t> symbols(1 << 14);
+  for (auto& s : symbols) {
+    s = rng.UniformInt(100) < 85 ? 0 : static_cast<std::int32_t>(rng.UniformInt(32)) - 16;
+  }
+  for (auto _ : state) {
+    auto bytes = codec::HuffmanEncode(symbols);
+    auto back = codec::HuffmanDecode(bytes);
+    benchmark::DoNotOptimize(back.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(symbols.size()));
+}
+BENCHMARK(BM_HuffmanRoundTrip);
+
+void BM_PcaCorrect(benchmark::State& state) {
+  Rng rng(10);
+  postprocess::ResidualPca pca;
+  std::vector<Tensor> residuals;
+  for (int f = 0; f < 4; ++f) {
+    residuals.push_back(Tensor::Randn({32, 32}, rng, 0.05f));
+  }
+  pca.Fit(residuals);
+  Tensor original = Tensor::Randn({32, 32}, rng);
+  for (auto _ : state) {
+    Tensor recon = original.Clone();
+    for (std::int64_t i = 0; i < recon.numel(); ++i) {
+      recon[i] += 0.05f * ((i % 7) - 3);
+    }
+    auto correction = pca.Correct(original, &recon, 0.2);
+    benchmark::DoNotOptimize(correction.payload.data());
+  }
+}
+BENCHMARK(BM_PcaCorrect);
+
+void BM_GenerateField(benchmark::State& state) {
+  const auto kind = static_cast<data::DatasetKind>(state.range(0));
+  data::FieldSpec spec;
+  spec.frames = 16;
+  spec.height = 32;
+  spec.width = 32;
+  for (auto _ : state) {
+    Tensor field = data::GenerateField(kind, spec);
+    benchmark::DoNotOptimize(field.data());
+  }
+}
+BENCHMARK(BM_GenerateField)->Arg(0)->Arg(1)->Arg(2);
+
+}  // namespace
+
+BENCHMARK_MAIN();

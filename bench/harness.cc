@@ -1,0 +1,249 @@
+#include "harness.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "tensor/metrics.h"
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace glsc::bench {
+
+std::string ArtifactsDir() {
+  const char* env = std::getenv("GLSC_ARTIFACTS");
+  return env != nullptr ? env : "artifacts";
+}
+
+Preset MakePreset(data::DatasetKind kind) {
+  Preset preset;
+  preset.kind = kind;
+  preset.spec.frames = 48;
+  preset.spec.height = 32;
+  preset.spec.width = 32;
+  switch (kind) {
+    case data::DatasetKind::kClimate:
+      preset.spec.variables = 2;  // paper: 5 climate variables
+      preset.spec.seed = 42;
+      break;
+    case data::DatasetKind::kCombustion:
+      preset.spec.variables = 3;  // paper: 58 species
+      preset.spec.seed = 43;
+      break;
+    case data::DatasetKind::kTurbulence:
+      preset.spec.variables = 2;  // paper: velocity components
+      preset.spec.seed = 44;
+      break;
+  }
+
+  core::GlscConfig& g = preset.glsc;
+  g.vae.latent_channels = 8;
+  g.vae.hidden_channels = 24;
+  g.vae.hyper_channels = 4;
+  g.vae.seed = 17 + static_cast<std::uint64_t>(kind);
+  g.unet.latent_channels = 8;
+  g.unet.model_channels = 16;
+  g.unet.heads = 4;
+  g.unet.seed = 41 + static_cast<std::uint64_t>(kind);
+  g.schedule_steps = 200;
+  g.window = 16;
+  g.interval = 3;
+  g.sample_steps = 32;
+
+  core::TrainBudget& b = preset.budget;
+  b.vae.iterations = 1200;
+  b.vae.batch_size = 4;
+  b.vae.crop = 32;
+  b.vae.lambda_double_at = 600;
+  b.vae.lr_decay_every = 600;
+  b.vae.log_every = 600;
+  b.diffusion.iterations = 600;
+  b.diffusion.crop = 32;
+  b.diffusion.log_every = 300;
+  // Match the paper's recipe: long-schedule training then a short 32-step
+  // fine-tune so the default 32-step sampler is in-distribution.
+  b.finetune_steps = 32;
+  b.finetune_iterations = 120;
+  b.pca_fit_windows = 4;
+  return preset;
+}
+
+Preset MakeAblationPreset(data::DatasetKind kind) {
+  Preset preset = MakePreset(kind);
+  preset.spec.frames = 48;
+  preset.spec.variables = 1;
+  preset.glsc.vae.latent_channels = 8;
+  preset.glsc.unet.latent_channels = 8;
+  preset.glsc.unet.model_channels = 12;
+  preset.budget.vae.iterations = 800;
+  preset.budget.diffusion.iterations = 300;
+  preset.budget.finetune_iterations = 80;
+  return preset;
+}
+
+std::vector<WindowRecon> ReconstructAll(const data::SequenceDataset& dataset,
+                                        std::int64_t window,
+                                        const ReconFn& fn) {
+  std::vector<WindowRecon> out;
+  for (const auto& ref : dataset.EvaluationWindows(window)) {
+    const Tensor frames = dataset.NormalizedWindow(ref.variable, ref.t0, window);
+    WindowRecon recon = fn(frames, ref.variable, ref.t0);
+    recon.variable = ref.variable;
+    recon.t0 = ref.t0;
+    out.push_back(std::move(recon));
+  }
+  return out;
+}
+
+std::vector<RdPoint> SweepBounds(const data::SequenceDataset& dataset,
+                                 const std::vector<WindowRecon>& recons,
+                                 const postprocess::ResidualPca& pca,
+                                 const std::vector<double>& taus) {
+  const double global_range =
+      static_cast<double>(dataset.raw().MaxValue()) -
+      dataset.raw().MinValue();
+  const auto total_points = static_cast<double>(dataset.raw().numel());
+  // Reconstructed-at-bench-scale: eval windows may not tile the temporal axis
+  // exactly; count only covered points.
+  double covered_points = 0.0;
+  for (const auto& r : recons) covered_points += static_cast<double>(r.window.numel());
+  (void)total_points;
+
+  std::vector<RdPoint> points;
+  for (const double tau : taus) {
+    double sq_err = 0.0;
+    std::size_t bytes = 0;
+    for (const auto& r : recons) {
+      bytes += r.base_bytes;
+      const std::int64_t n = r.window.dim(0);
+      const std::int64_t hw = r.window.dim(1) * r.window.dim(2);
+      for (std::int64_t f = 0; f < n; ++f) {
+        Tensor orig({r.window.dim(1), r.window.dim(2)});
+        Tensor rec({r.window.dim(1), r.window.dim(2)});
+        std::copy_n(r.window.data() + f * hw, hw, orig.data());
+        std::copy_n(r.recon.data() + f * hw, hw, rec.data());
+        if (tau > 0.0) {
+          const auto correction = pca.Correct(orig, &rec, tau);
+          bytes += correction.payload.size();
+        }
+        // Physical-units error for this frame (Eq. 12 numerator): the frame
+        // normalization is affine, so err_phys = err_norm * range_f.
+        const auto& norm = dataset.norm(r.variable, r.t0 + f);
+        double frame_sq = 0.0;
+        for (std::int64_t i = 0; i < hw; ++i) {
+          const double d = static_cast<double>(orig[i]) - rec[i];
+          frame_sq += d * d;
+        }
+        sq_err += frame_sq * static_cast<double>(norm.range) * norm.range;
+      }
+    }
+    RdPoint point;
+    point.tau = tau;
+    point.bytes = bytes;
+    point.nrmse = std::sqrt(sq_err / covered_points) / global_range;
+    const double original_bytes = covered_points * sizeof(float);
+    point.cr = original_bytes / static_cast<double>(bytes);
+    points.push_back(point);
+  }
+  return points;
+}
+
+std::vector<RdPoint> RuleCurve(const data::SequenceDataset& dataset,
+                               const RuleFn& compress,
+                               const RuleDecodeFn& decompress,
+                               const std::vector<double>& rel_bounds) {
+  const Tensor& raw = dataset.raw();
+  const double global_range =
+      static_cast<double>(raw.MaxValue()) - raw.MinValue();
+  std::vector<RdPoint> points;
+  for (const double rel : rel_bounds) {
+    double sq_err = 0.0;
+    std::size_t bytes = 0;
+    double covered = 0.0;
+    for (std::int64_t v = 0; v < dataset.variables(); ++v) {
+      // Rule-based compressors run per variable on the raw 3D field with a
+      // bound scaled to that variable's own range (standard practice for
+      // multi-variable datasets).
+      Tensor field({dataset.frames(), dataset.height(), dataset.width()});
+      std::copy_n(raw.data() + v * field.numel(), field.numel(), field.data());
+      const double vrange =
+          static_cast<double>(field.MaxValue()) - field.MinValue();
+      const double bound = std::max(rel * vrange, 1e-30);
+      const auto stream = compress(field, bound);
+      const Tensor recon = decompress(stream);
+      bytes += stream.size();
+      covered += static_cast<double>(field.numel());
+      const float* pa = field.data();
+      const float* pb = recon.data();
+      for (std::int64_t i = 0; i < field.numel(); ++i) {
+        const double d = static_cast<double>(pa[i]) - pb[i];
+        sq_err += d * d;
+      }
+    }
+    RdPoint point;
+    point.tau = rel;
+    point.bytes = bytes;
+    point.nrmse = std::sqrt(sq_err / covered) / global_range;
+    point.cr = covered * sizeof(float) / static_cast<double>(bytes);
+    points.push_back(point);
+  }
+  return points;
+}
+
+postprocess::ResidualPca FitPcaFor(const data::SequenceDataset& dataset,
+                                   std::int64_t window, const ReconFn& fn,
+                                   std::int64_t fit_windows,
+                                   const postprocess::PcaConfig& config) {
+  postprocess::ResidualPca pca(config);
+  Rng rng(7);
+  std::vector<Tensor> residual_frames;
+  for (std::int64_t k = 0; k < fit_windows; ++k) {
+    const std::int64_t v = static_cast<std::int64_t>(
+        rng.UniformInt(static_cast<std::uint64_t>(dataset.variables())));
+    const std::int64_t t0 = static_cast<std::int64_t>(rng.UniformInt(
+        static_cast<std::uint64_t>(dataset.frames() - window + 1)));
+    const Tensor frames = dataset.NormalizedWindow(v, t0, window);
+    const WindowRecon recon = fn(frames, v, t0);
+    const Tensor residual = Sub(frames, recon.recon);
+    const std::int64_t hw = frames.dim(1) * frames.dim(2);
+    for (std::int64_t f = 0; f < window; ++f) {
+      Tensor frame({frames.dim(1), frames.dim(2)});
+      std::copy_n(residual.data() + f * hw, hw, frame.data());
+      residual_frames.push_back(std::move(frame));
+    }
+  }
+  pca.Fit(residual_frames);
+  return pca;
+}
+
+void PrintHeader(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+void PrintCurve(const std::string& method,
+                const std::vector<RdPoint>& points) {
+  for (const auto& p : points) {
+    std::printf("%-14s bound=%-10.3g CR=%-10.2f NRMSE=%-12.4e bytes=%zu\n",
+                method.c_str(), p.tau, p.cr, p.nrmse, p.bytes);
+  }
+  std::fflush(stdout);
+}
+
+void PrintNote(const std::string& note) {
+  std::printf("  # %s\n", note.c_str());
+  std::fflush(stdout);
+}
+
+std::vector<double> DefaultTaus() {
+  // Normalized per-frame L2 bounds; frames are 32x32 with unit range, so
+  // tau = 0.32 corresponds to ~1e-2 per-point RMS.
+  return {1.2, 0.6, 0.3, 0.15, 0.08, 0.04};
+}
+
+std::vector<double> DefaultRelBounds() {
+  return {3e-2, 1e-2, 3e-3, 1e-3, 3e-4, 1e-4};
+}
+
+}  // namespace glsc::bench

@@ -1,0 +1,101 @@
+// File-level compression tool: the workflow an HPC facility would wire into
+// its I/O pipeline. Takes raw float32 input (or generates a demo field),
+// produces a .glsca archive on disk, then restores it and reports the
+// achieved ratio and error.
+//
+//   ./examples/file_compressor --demo                      # synthetic field
+//   ./examples/file_compressor --input=field.f32 --variables=2 [...]   # your data
+//   options: --tau=0.1 (error bound), --output=out.glsca
+//
+// Input layout: [variables, frames, height, width] row-major float32.
+// Height/width must be multiples of 16 (VAE + hyperprior geometry).
+#include <cstdio>
+
+#include "core/container.h"
+#include "core/registry.h"
+#include "data/field_generators.h"
+#include "tensor/metrics.h"
+#include "util/flags.h"
+#include "util/logging.h"
+
+int main(int argc, char** argv) {
+  using namespace glsc;
+  Flags flags(argc, argv);
+  const double tau = flags.GetDouble("tau", 0.1);
+  const std::string output = flags.GetString("output", "compressed.glsca");
+
+  // ---- load or synthesize the input field ----
+  Tensor field;
+  if (flags.Has("input")) {
+    const auto v = flags.GetInt("variables", 1);
+    const auto t = flags.GetInt("frames", 48);
+    const auto h = flags.GetInt("height", 32);
+    const auto w = flags.GetInt("width", 32);
+    std::vector<std::uint8_t> bytes;
+    if (!ReadFileBytes(flags.GetString("input", ""), &bytes)) {
+      std::fprintf(stderr, "cannot read %s\n",
+                   flags.GetString("input", "").c_str());
+      return 1;
+    }
+    const std::size_t expect =
+        static_cast<std::size_t>(v * t * h * w) * sizeof(float);
+    if (bytes.size() != expect) {
+      std::fprintf(stderr, "input is %zu bytes, expected %zu for %lldx%lldx%lldx%lld f32\n",
+                   bytes.size(), expect, (long long)v, (long long)t,
+                   (long long)h, (long long)w);
+      return 1;
+    }
+    field = Tensor({v, t, h, w});
+    std::memcpy(field.data(), bytes.data(), bytes.size());
+  } else {
+    std::printf("no --input given; generating a demo climate field\n");
+    data::FieldSpec spec;
+    spec.variables = 1;
+    spec.frames = 48;
+    spec.height = 32;
+    spec.width = 32;
+    spec.seed = 5150;
+    field = data::GenerateClimate(spec);
+  }
+  data::SequenceDataset dataset(field);
+
+  // ---- model (trained once per config, cached) ----
+  core::GlscConfig config;
+  config.vae.latent_channels = 8;
+  config.vae.hidden_channels = 16;
+  config.vae.hyper_channels = 4;
+  config.unet.latent_channels = 8;
+  config.unet.model_channels = 16;
+  config.window = 16;
+  config.interval = 3;
+  core::TrainBudget budget;
+  budget.vae.iterations = 400;
+  budget.vae.crop = 32;
+  budget.diffusion.iterations = 400;
+  budget.diffusion.crop = 32;
+  auto compressor = core::GetOrTrainGlsc(dataset, config, budget, "artifacts",
+                                         "file_compressor");
+
+  // ---- compress -> archive -> restore ----
+  const core::DatasetArchive archive =
+      core::CompressDataset(compressor.get(), dataset, tau);
+  archive.WriteFile(output);
+  std::vector<std::uint8_t> on_disk;
+  GLSC_CHECK(ReadFileBytes(output, &on_disk));
+
+  const core::DatasetArchive loaded = core::DatasetArchive::ReadFile(output);
+  const Tensor restored = loaded.DecompressAll(compressor.get());
+
+  const double original_bytes =
+      static_cast<double>(dataset.OriginalBytes());
+  std::printf("\nwrote %s: %zu bytes (original %.0f) -> CR %.1fx\n",
+              output.c_str(), on_disk.size(), original_bytes,
+              original_bytes / static_cast<double>(on_disk.size()));
+  std::printf("restored NRMSE: %.4e   max |err| / range: %.4e\n",
+              Nrmse(field, restored),
+              MaxAbsError(field, restored) /
+                  (field.MaxValue() - field.MinValue()));
+  std::printf("per-frame L2 bound tau=%.3g held on every frame "
+              "(enforced by construction)\n", tau);
+  return 0;
+}

@@ -1,0 +1,148 @@
+#include "baselines/gcd.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/optimizer.h"
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace glsc::baselines {
+namespace {
+
+diffusion::UNetConfig MakeUnetConfig(const GcdConfig& config) {
+  diffusion::UNetConfig unet;
+  unet.latent_channels = 1;
+  unet.in_channels = 2;
+  unet.out_channels = 1;
+  unet.model_channels = config.model_channels;
+  unet.heads = config.heads;
+  unet.stage1_attention = false;
+  unet.seed = config.seed + 1;
+  return unet;
+}
+
+Tensor StackChannels(const Tensor& a, const Tensor& b) {
+  GLSC_CHECK(a.shape() == b.shape() && a.rank() == 4 && a.dim(1) == 1);
+  const std::int64_t n = a.dim(0), h = a.dim(2), w = a.dim(3);
+  Tensor out({n, 2, h, w});
+  for (std::int64_t i = 0; i < n; ++i) {
+    std::copy_n(a.data() + i * h * w, h * w, out.data() + i * 2 * h * w);
+    std::copy_n(b.data() + i * h * w, h * w, out.data() + (i * 2 + 1) * h * w);
+  }
+  return out;
+}
+
+}  // namespace
+
+GCDCompressor::GCDCompressor(const GcdConfig& config)
+    : config_(config),
+      vae_(config.vae),
+      schedule_(diffusion::ScheduleKind::kLinear, config.schedule_steps),
+      unet_(MakeUnetConfig(config)) {}
+
+void GCDCompressor::Train(const data::SequenceDataset& dataset,
+                          const compress::VaeTrainConfig& vae_cfg,
+                          std::int64_t diffusion_iters, std::int64_t crop) {
+  compress::TrainVae(&vae_, dataset, vae_cfg);
+
+  Rng rng(config_.seed + 2);
+  nn::Adam opt(unet_.Params(), 3e-4f);
+  double window_loss = 0.0;
+  std::int64_t window_count = 0;
+  for (std::int64_t iter = 1; iter <= diffusion_iters; ++iter) {
+    const Tensor frames =
+        dataset.SampleTrainingWindow(config_.window, crop, rng);
+    const Tensor x = frames.Reshape(
+        {frames.dim(0), 1, frames.dim(1), frames.dim(2)});
+    const Tensor cond = vae_.DecodeLatent(Round(vae_.EncodeLatent(x)));
+
+    const std::int64_t t = static_cast<std::int64_t>(
+        rng.UniformInt(static_cast<std::uint64_t>(schedule_.steps())));
+    const double ab = schedule_.alpha_bar(t);
+    const float sig = static_cast<float>(std::sqrt(ab));
+    const float noi = static_cast<float>(std::sqrt(1.0 - ab));
+
+    Tensor eps = Tensor::Randn(x.shape(), rng);
+    Tensor x_t(x.shape());
+    for (std::int64_t i = 0; i < x.numel(); ++i) {
+      x_t[i] = sig * x[i] + noi * eps[i];
+    }
+
+    const Tensor pred = unet_.Forward(StackChannels(x_t, cond), t);
+    const double loss = MeanSquaredError(eps, pred);
+
+    Tensor g = Sub(pred, eps);
+    MulScalarInPlace(&g, 2.0f / static_cast<float>(g.numel()));
+    opt.ZeroGrad();
+    unet_.Backward(g);
+    opt.ClipGradNorm(1.0);
+    opt.Step();
+
+    window_loss += loss;
+    if (++window_count == 200 || iter == diffusion_iters) {
+      LOG_INFO << "gcd iter " << iter << "/" << diffusion_iters
+               << " mse=" << window_loss / window_count;
+      window_loss = 0.0;
+      window_count = 0;
+    }
+  }
+}
+
+GCDCompressor::Compressed GCDCompressor::Compress(const Tensor& window) {
+  GLSC_CHECK(window.rank() == 3);
+  Compressed out;
+  out.window_shape = window.shape();
+  const Tensor as_batch =
+      window.Reshape({window.dim(0), 1, window.dim(1), window.dim(2)});
+  out.frames = vae_.Compress(as_batch);
+  return out;
+}
+
+Tensor GCDCompressor::Decompress(const Compressed& compressed,
+                                 std::int64_t steps, Rng& rng) {
+  const Tensor y = vae_.DecompressLatents(compressed.frames);
+  const Tensor cond = vae_.DecodeLatent(y);
+
+  std::vector<std::int64_t> ladder = schedule_.Respace(steps);
+  std::reverse(ladder.begin(), ladder.end());
+
+  Tensor x = Tensor::Randn(cond.shape(), rng);
+  for (std::size_t s = 0; s < ladder.size(); ++s) {
+    const std::int64_t t = ladder[s];
+    const bool last = s + 1 == ladder.size();
+    const double ab = schedule_.alpha_bar(t);
+    const double ab_prev = last ? 1.0 : schedule_.alpha_bar(ladder[s + 1]);
+    const float sqrt_ab = static_cast<float>(std::sqrt(ab));
+    const float sqrt_1ab = static_cast<float>(std::sqrt(1.0 - ab));
+
+    const Tensor eps = unet_.Forward(StackChannels(x, cond), t);
+    Tensor x0(x.shape());
+    for (std::int64_t i = 0; i < x.numel(); ++i) {
+      x0[i] = (x[i] - sqrt_1ab * eps[i]) / sqrt_ab;
+    }
+    x0 = Clamp(x0, -2.0f, 2.0f);
+    if (last) {
+      x = x0;
+      break;
+    }
+    const float c0 = static_cast<float>(std::sqrt(ab_prev));
+    const float c1 = static_cast<float>(std::sqrt(1.0 - ab_prev));
+    for (std::int64_t i = 0; i < x.numel(); ++i) {
+      x[i] = c0 * x0[i] + c1 * eps[i];
+    }
+  }
+  return x.Reshape(compressed.window_shape);
+}
+
+void GCDCompressor::Save(ByteWriter* out) {
+  vae_.Save(out);
+  unet_.Save(out);
+}
+
+void GCDCompressor::Load(ByteReader* in) {
+  vae_.Load(in);
+  unet_.Load(in);
+}
+
+}  // namespace glsc::baselines

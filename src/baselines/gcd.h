@@ -1,0 +1,55 @@
+// GCD-style 3D block conditional diffusion codec (Lee et al. [20]): extends
+// CDC from 2D frames to spatiotemporal blocks. A VAE+hyperprior still stores
+// a latent for EVERY frame of the block; the diffusion model then denoises
+// the whole [N, H, W] block jointly in PIXEL space with temporal attention,
+// conditioned on the per-frame VAE reconstructions. Joint 3D pixel-space
+// denoising makes GCD the slowest decoder in Table 2.
+#pragma once
+
+#include "compress/vae.h"
+#include "compress/vae_trainer.h"
+#include "data/dataset.h"
+#include "diffusion/noise_schedule.h"
+#include "diffusion/spacetime_unet.h"
+
+namespace glsc::baselines {
+
+struct GcdConfig {
+  compress::VaeConfig vae;
+  std::int64_t model_channels = 24;
+  std::int64_t heads = 4;
+  std::int64_t schedule_steps = 200;
+  std::int64_t window = 8;  // N frames per 3D block
+  std::uint64_t seed = 61;
+};
+
+class GCDCompressor {
+ public:
+  explicit GCDCompressor(const GcdConfig& config);
+
+  void Train(const data::SequenceDataset& dataset,
+             const compress::VaeTrainConfig& vae_cfg,
+             std::int64_t diffusion_iters, std::int64_t crop);
+
+  struct Compressed {
+    compress::VaeBitstream frames;
+    Shape window_shape;
+  };
+
+  Compressed Compress(const Tensor& window);
+  Tensor Decompress(const Compressed& compressed, std::int64_t steps,
+                    Rng& rng);
+
+  std::int64_t window() const { return config_.window; }
+
+  void Save(ByteWriter* out);
+  void Load(ByteReader* in);
+
+ private:
+  GcdConfig config_;
+  compress::VaeHyperprior vae_;
+  diffusion::NoiseSchedule schedule_;
+  diffusion::SpaceTimeUNet unet_;
+};
+
+}  // namespace glsc::baselines

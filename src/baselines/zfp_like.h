@@ -1,0 +1,30 @@
+// ZFP-style transform-based error-bounded compressor.
+//
+// ZFP partitions a d-dimensional field into 4^d blocks, applies a separable
+// near-orthogonal decorrelating transform, and codes the coefficients to a
+// precision derived from the error tolerance. This class follows the same
+// architecture for 3D (t, y, x) data:
+//
+//   * 4x4x4 blocks, edge-replicated at boundaries;
+//   * a separable two-level Haar transform per axis (each output value is a
+//     ±1 combination of at most 3 coefficients per axis, 27 in total);
+//   * uniform scalar quantization of coefficients with step 2*eb/27, which
+//     bounds the per-point reconstruction error by eb deterministically;
+//   * Huffman coding of the quantization integers (near-zero high-frequency
+//     coefficients dominate, which the entropy stage exploits).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace glsc::baselines {
+
+class ZFPLikeCompressor {
+ public:
+  std::vector<std::uint8_t> Compress(const Tensor& field, double abs_bound);
+  Tensor Decompress(const std::vector<std::uint8_t>& bytes);
+};
+
+}  // namespace glsc::baselines

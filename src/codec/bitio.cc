@@ -1,0 +1,4 @@
+#include "codec/bitio.h"
+
+// Header-only; this translation unit exists so the target always has at least
+// one object file and to catch ODR issues early.

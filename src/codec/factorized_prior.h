@@ -1,0 +1,41 @@
+// Per-channel discretized logistic codec. This is the coding half of the
+// "fully factorized" hyperlatent prior (Ballé et al. [4]): each channel c of
+// the integer hyperlatent z is coded against
+//   pmf(k) = sigmoid((k+1/2-mu_c)/s_c) - sigmoid((k-1/2-mu_c)/s_c).
+// The learnable (mu_c, s_c) parameters live in compress::FactorizedPrior;
+// this class only consumes their values, so encoder and decoder stay in sync
+// by construction.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace glsc::codec {
+
+class LogisticChannelCodec {
+ public:
+  static constexpr int kHalfWindow = 128;
+
+  // z: [B, C, ...] integer-valued; mu/s have C entries (s > 0).
+  std::vector<std::uint8_t> Encode(const Tensor& z, const std::vector<float>& mu,
+                                   const std::vector<float>& s);
+  Tensor Decode(const std::vector<std::uint8_t>& bytes, const Shape& shape,
+                const std::vector<float>& mu, const std::vector<float>& s);
+
+  double TheoreticalBits(const Tensor& z, const std::vector<float>& mu,
+                         const std::vector<float>& s) const;
+
+ private:
+  struct FreqTable {
+    std::vector<std::uint32_t> freq;
+    std::vector<std::uint32_t> cum;
+    std::uint32_t total = 0;
+    std::int64_t origin = 0;  // offset of slot 0 relative to round(mu)
+  };
+
+  static FreqTable BuildTable(float mu, float s);
+};
+
+}  // namespace glsc::codec

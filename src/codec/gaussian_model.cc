@@ -1,0 +1,192 @@
+#include "codec/gaussian_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace glsc::codec {
+namespace {
+
+constexpr float kSigmaMin = 0.05f;
+constexpr float kSigmaMax = 64.0f;
+
+double NormalCdf(double x) { return 0.5 * std::erfc(-x * (1.0 / std::sqrt(2.0))); }
+
+// pmf of integer offset d for a Gaussian centered at `frac` with stddev
+// `sigma`, after convolution with U(-1/2, 1/2).
+double OffsetPmf(int d, double frac, double sigma) {
+  const double hi = (static_cast<double>(d) + 0.5 - frac) / sigma;
+  const double lo = (static_cast<double>(d) - 0.5 - frac) / sigma;
+  return NormalCdf(hi) - NormalCdf(lo);
+}
+
+}  // namespace
+
+float GaussianConditionalModel::SigmaForBin(int bin) {
+  const float t = static_cast<float>(bin) / (kSigmaBins - 1);
+  return kSigmaMin * std::pow(kSigmaMax / kSigmaMin, t);
+}
+
+float GaussianConditionalModel::FracForBin(int bin) {
+  // Bin centers uniformly spread over [-0.5, 0.5).
+  return -0.5f + (static_cast<float>(bin) + 0.5f) / kFracBins;
+}
+
+void GaussianConditionalModel::QuantizeParams(float mu, float sigma,
+                                              int* sigma_bin, int* frac_bin) {
+  const float s = std::clamp(sigma, kSigmaMin, kSigmaMax);
+  const float t = std::log(s / kSigmaMin) / std::log(kSigmaMax / kSigmaMin);
+  *sigma_bin = std::clamp(
+      static_cast<int>(std::lround(t * (kSigmaBins - 1))), 0, kSigmaBins - 1);
+  const float frac = mu - std::nearbyint(mu);  // in [-0.5, 0.5]
+  *frac_bin = std::clamp(static_cast<int>((frac + 0.5f) * kFracBins), 0,
+                         kFracBins - 1);
+}
+
+GaussianConditionalModel::FreqTable GaussianConditionalModel::BuildTable(
+    int sigma_bin, int frac_bin) {
+  const double sigma = SigmaForBin(sigma_bin);
+  const double frac = FracForBin(frac_bin);
+  const int window = 2 * kHalfWindow;  // offsets in [-kHalfWindow, kHalfWindow)
+
+  FreqTable table;
+  table.freq.resize(window + 1);  // + escape slot
+
+  // Target a total well under the coder's 16-bit ceiling and keep every slot
+  // non-zero so any offset remains codable.
+  constexpr std::uint32_t kTargetTotal = 1u << 14;
+  double mass_in_window = 0.0;
+  std::vector<double> pmf(window);
+  for (int i = 0; i < window; ++i) {
+    pmf[i] = OffsetPmf(i - kHalfWindow, frac, sigma);
+    mass_in_window += pmf[i];
+  }
+  const double escape_mass = std::max(1.0 - mass_in_window, 1e-9);
+
+  std::uint32_t assigned = 0;
+  for (int i = 0; i < window; ++i) {
+    const auto f = static_cast<std::uint32_t>(
+        std::max(1.0, std::floor(pmf[i] * kTargetTotal)));
+    table.freq[i] = f;
+    assigned += f;
+  }
+  table.freq[window] = std::max<std::uint32_t>(
+      1, static_cast<std::uint32_t>(escape_mass * kTargetTotal));
+  assigned += table.freq[window];
+  GLSC_CHECK(assigned < RangeEncoder::kMaxTotal);
+
+  table.cum.resize(table.freq.size() + 1);
+  table.cum[0] = 0;
+  for (std::size_t i = 0; i < table.freq.size(); ++i) {
+    table.cum[i + 1] = table.cum[i] + table.freq[i];
+  }
+  table.total = table.cum.back();
+  return table;
+}
+
+const GaussianConditionalModel::FreqTable& GaussianConditionalModel::TableFor(
+    float mu, float sigma, int* sigma_bin, int* frac_bin) {
+  QuantizeParams(mu, sigma, sigma_bin, frac_bin);
+  const std::uint32_t key =
+      static_cast<std::uint32_t>(*sigma_bin) * kFracBins +
+      static_cast<std::uint32_t>(*frac_bin);
+  auto it = cache_.find(key);
+  if (it == cache_.end()) {
+    it = cache_.emplace(key, BuildTable(*sigma_bin, *frac_bin)).first;
+  }
+  return it->second;
+}
+
+std::vector<std::uint8_t> GaussianConditionalModel::Encode(
+    const Tensor& y, const Tensor& mu, const Tensor& sigma) {
+  GLSC_CHECK(y.shape() == mu.shape() && y.shape() == sigma.shape());
+  RangeEncoder enc;
+  const std::int64_t n = y.numel();
+  const float* py = y.data();
+  const float* pm = mu.data();
+  const float* ps = sigma.data();
+  const int window = 2 * kHalfWindow;
+
+  for (std::int64_t i = 0; i < n; ++i) {
+    int sbin, fbin;
+    const FreqTable& table = TableFor(pm[i], ps[i], &sbin, &fbin);
+    const auto yi = static_cast<std::int64_t>(std::nearbyint(py[i]));
+    const auto mu_round = static_cast<std::int64_t>(std::nearbyint(pm[i]));
+    const std::int64_t d = yi - mu_round;
+    if (d >= -kHalfWindow && d < kHalfWindow) {
+      const int slot = static_cast<int>(d) + kHalfWindow;
+      enc.Encode(table.cum[slot], table.freq[slot], table.total);
+    } else {
+      // Escape: code the escape symbol then the value as a raw 32-bit zigzag
+      // through two 16-bit uniform symbols.
+      enc.Encode(table.cum[window], table.freq[window], table.total);
+      const auto zz = static_cast<std::uint32_t>((d << 1) ^ (d >> 63));
+      enc.Encode(static_cast<std::uint16_t>(zz & 0xFFFF), 1, 1u << 16);
+      enc.Encode(static_cast<std::uint16_t>(zz >> 16), 1, 1u << 16);
+    }
+  }
+  return enc.Finish();
+}
+
+Tensor GaussianConditionalModel::Decode(const std::vector<std::uint8_t>& bytes,
+                                        const Tensor& mu,
+                                        const Tensor& sigma) {
+  GLSC_CHECK(mu.shape() == sigma.shape());
+  RangeDecoder dec(bytes.data(), bytes.size());
+  Tensor y(mu.shape());
+  const std::int64_t n = y.numel();
+  float* py = y.data();
+  const float* pm = mu.data();
+  const float* ps = sigma.data();
+  const int window = 2 * kHalfWindow;
+
+  for (std::int64_t i = 0; i < n; ++i) {
+    int sbin, fbin;
+    const FreqTable& table = TableFor(pm[i], ps[i], &sbin, &fbin);
+    const std::uint32_t slot_pos = dec.DecodeSlot(table.total);
+    // Binary search the cumulative table for the symbol owning this slot.
+    const auto it =
+        std::upper_bound(table.cum.begin(), table.cum.end(), slot_pos);
+    const int sym = static_cast<int>(it - table.cum.begin()) - 1;
+    dec.Consume(table.cum[sym], table.freq[sym], table.total);
+
+    const auto mu_round = static_cast<std::int64_t>(std::nearbyint(pm[i]));
+    std::int64_t d;
+    if (sym < window) {
+      d = sym - kHalfWindow;
+    } else {
+      const std::uint32_t lo = dec.DecodeSlot(1u << 16);
+      dec.Consume(lo, 1, 1u << 16);
+      const std::uint32_t hi = dec.DecodeSlot(1u << 16);
+      dec.Consume(hi, 1, 1u << 16);
+      const std::uint32_t zz = lo | (hi << 16);
+      d = static_cast<std::int64_t>(zz >> 1) ^
+          -static_cast<std::int64_t>(zz & 1);
+    }
+    py[i] = static_cast<float>(mu_round + d);
+  }
+  return y;
+}
+
+double GaussianConditionalModel::TheoreticalBits(const Tensor& y,
+                                                 const Tensor& mu,
+                                                 const Tensor& sigma) const {
+  GLSC_CHECK(y.shape() == mu.shape() && y.shape() == sigma.shape());
+  const std::int64_t n = y.numel();
+  const float* py = y.data();
+  const float* pm = mu.data();
+  const float* ps = sigma.data();
+  double bits = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const double s = std::clamp(ps[i], kSigmaMin, kSigmaMax);
+    const double p =
+        std::max(OffsetPmf(0, pm[i] - std::nearbyint(py[i]), s), 1e-12);
+    // Note the sign flip: P(y | mu) with y integer equals the pmf of offset
+    // (y - mu) which is OffsetPmf evaluated at frac = mu - y.
+    bits += -std::log2(p);
+  }
+  return bits;
+}
+
+}  // namespace glsc::codec

@@ -1,0 +1,64 @@
+// Discretized Gaussian conditional entropy model (Ballé/Minnen hyperprior
+// style, Eq. 1-2 of the paper): each quantized latent element y_i is an
+// integer whose probability is N(mu_i, sigma_i^2) convolved with U(-1/2,1/2),
+// i.e. pmf(k) = Phi((k+.5-mu)/sigma) - Phi((k-.5-mu)/sigma).
+//
+// Encoding codes d = y - round(mu) against a frequency table derived from the
+// quantized (sigma, frac(mu)) pair; the decoder reconstructs the identical
+// table from the same (mu, sigma) it obtained by decoding the hyperlatent, so
+// the bitstream round-trips exactly. Symbols outside the table window are
+// escape-coded with raw bits.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "codec/range_coder.h"
+#include "tensor/tensor.h"
+
+namespace glsc::codec {
+
+class GaussianConditionalModel {
+ public:
+  // Window of [-kHalfWindow, kHalfWindow-1] around round(mu), plus escape.
+  static constexpr int kHalfWindow = 64;
+  static constexpr int kSigmaBins = 64;
+  static constexpr int kFracBins = 16;
+
+  // Encode integer-valued tensor `y` (each element already rounded) with
+  // per-element conditional parameters mu/sigma (same shape as y).
+  std::vector<std::uint8_t> Encode(const Tensor& y, const Tensor& mu,
+                                   const Tensor& sigma);
+
+  // Inverse; `count` elements are decoded into a tensor of mu's shape.
+  Tensor Decode(const std::vector<std::uint8_t>& bytes, const Tensor& mu,
+                const Tensor& sigma);
+
+  // Exact information content in bits of coding y against the model; used by
+  // tests to verify coded size ~= entropy and by rate reporting.
+  double TheoreticalBits(const Tensor& y, const Tensor& mu,
+                         const Tensor& sigma) const;
+
+ private:
+  struct FreqTable {
+    std::vector<std::uint32_t> freq;  // size 2*kHalfWindow + 1 (last = escape)
+    std::vector<std::uint32_t> cum;   // prefix sums, size freq.size() + 1
+    std::uint32_t total = 0;
+  };
+
+  // Quantizes sigma (log-spaced) and mu's fractional part and memoizes the
+  // resulting table. Deterministic: encoder and decoder derive equal tables.
+  const FreqTable& TableFor(float mu, float sigma, int* sigma_bin,
+                            int* frac_bin);
+  static FreqTable BuildTable(int sigma_bin, int frac_bin);
+  static float SigmaForBin(int bin);
+  static float FracForBin(int bin);
+  static void QuantizeParams(float mu, float sigma, int* sigma_bin,
+                             int* frac_bin);
+
+  std::unordered_map<std::uint32_t, FreqTable> cache_;
+};
+
+}  // namespace glsc::codec

@@ -1,0 +1,209 @@
+#include "codec/huffman.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <queue>
+
+#include "codec/bitio.h"
+#include "util/bytes.h"
+#include "util/check.h"
+
+namespace glsc::codec {
+namespace {
+
+struct Node {
+  std::uint64_t weight;
+  int symbol_index;  // -1 for internal
+  int left = -1, right = -1;
+};
+
+// Computes code lengths via a standard two-queue Huffman construction, then
+// assigns canonical codes (sorted by length, then symbol order).
+void BuildCodeLengths(const std::vector<std::uint64_t>& freqs,
+                      std::vector<int>* lengths) {
+  const int n = static_cast<int>(freqs.size());
+  lengths->assign(n, 0);
+  if (n == 1) {
+    (*lengths)[0] = 1;
+    return;
+  }
+  std::vector<Node> nodes;
+  nodes.reserve(2 * n);
+  using Entry = std::pair<std::uint64_t, int>;  // (weight, node index)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  for (int i = 0; i < n; ++i) {
+    nodes.push_back({freqs[i], i});
+    heap.push({freqs[i], i});
+  }
+  while (heap.size() > 1) {
+    const auto [wa, a] = heap.top();
+    heap.pop();
+    const auto [wb, b] = heap.top();
+    heap.pop();
+    nodes.push_back({wa + wb, -1, a, b});
+    heap.push({wa + wb, static_cast<int>(nodes.size()) - 1});
+  }
+  // DFS to assign depths.
+  std::vector<std::pair<int, int>> stack{{heap.top().second, 0}};
+  while (!stack.empty()) {
+    const auto [idx, depth] = stack.back();
+    stack.pop_back();
+    const Node& node = nodes[static_cast<std::size_t>(idx)];
+    if (node.symbol_index >= 0) {
+      (*lengths)[node.symbol_index] = std::max(depth, 1);
+    } else {
+      stack.push_back({node.left, depth + 1});
+      stack.push_back({node.right, depth + 1});
+    }
+  }
+}
+
+// Canonical code assignment from lengths; returns (code, length) pairs.
+void AssignCanonicalCodes(const std::vector<int>& lengths,
+                          std::vector<std::uint32_t>* codes) {
+  const int n = static_cast<int>(lengths.size());
+  codes->assign(n, 0);
+  std::vector<int> order(n);
+  for (int i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    if (lengths[a] != lengths[b]) return lengths[a] < lengths[b];
+    return a < b;
+  });
+  std::uint32_t code = 0;
+  int prev_len = 0;
+  for (const int idx : order) {
+    code <<= (lengths[idx] - prev_len);
+    (*codes)[idx] = code;
+    ++code;
+    prev_len = lengths[idx];
+  }
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> HuffmanEncode(
+    const std::vector<std::int32_t>& symbols) {
+  ByteWriter out;
+  out.PutVarU64(symbols.size());
+  if (symbols.empty()) return out.Release();
+
+  // Dense symbol dictionary in first-seen order, sorted for determinism.
+  std::map<std::int32_t, std::uint64_t> freq_map;
+  for (const auto s : symbols) ++freq_map[s];
+  std::vector<std::int32_t> alphabet;
+  std::vector<std::uint64_t> freqs;
+  alphabet.reserve(freq_map.size());
+  for (const auto& [sym, f] : freq_map) {
+    alphabet.push_back(sym);
+    freqs.push_back(f);
+  }
+
+  std::vector<int> lengths;
+  BuildCodeLengths(freqs, &lengths);
+  std::vector<std::uint32_t> codes;
+  AssignCanonicalCodes(lengths, &codes);
+
+  out.PutVarU64(alphabet.size());
+  for (std::size_t i = 0; i < alphabet.size(); ++i) {
+    out.PutVarI64(alphabet[i]);
+    out.PutU8(static_cast<std::uint8_t>(lengths[i]));
+  }
+
+  std::map<std::int32_t, std::size_t> index;
+  for (std::size_t i = 0; i < alphabet.size(); ++i) index[alphabet[i]] = i;
+
+  BitWriter bits;
+  for (const auto s : symbols) {
+    const std::size_t i = index[s];
+    GLSC_CHECK_MSG(lengths[i] <= 32, "pathological Huffman depth");
+    bits.PutBits(codes[i], lengths[i]);
+  }
+  const auto payload = bits.Finish();
+  out.PutVarU64(payload.size());
+  out.PutBytes(payload.data(), payload.size());
+  return out.Release();
+}
+
+std::vector<std::int32_t> HuffmanDecode(const std::vector<std::uint8_t>& bytes) {
+  ByteReader in(bytes);
+  const std::uint64_t count = in.GetVarU64();
+  std::vector<std::int32_t> symbols;
+  symbols.reserve(count);
+  if (count == 0) return symbols;
+
+  const std::uint64_t alpha_size = in.GetVarU64();
+  std::vector<std::int32_t> alphabet(alpha_size);
+  std::vector<int> lengths(alpha_size);
+  for (std::uint64_t i = 0; i < alpha_size; ++i) {
+    alphabet[i] = static_cast<std::int32_t>(in.GetVarI64());
+    lengths[i] = in.GetU8();
+  }
+  std::vector<std::uint32_t> codes;
+  AssignCanonicalCodes(lengths, &codes);
+
+  // Decode via canonical first-code table per length.
+  const int max_len =
+      *std::max_element(lengths.begin(), lengths.end());
+  // For each length, the smallest code value and the index (into
+  // length-sorted order) where codes of that length start.
+  std::vector<int> order(alpha_size);
+  for (std::size_t i = 0; i < alpha_size; ++i) order[i] = static_cast<int>(i);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    if (lengths[a] != lengths[b]) return lengths[a] < lengths[b];
+    return a < b;
+  });
+  std::vector<std::uint32_t> first_code(max_len + 1, 0);
+  std::vector<int> first_index(max_len + 1, 0);
+  std::vector<int> count_at(max_len + 1, 0);
+  for (std::size_t i = 0; i < alpha_size; ++i) ++count_at[lengths[i]];
+  {
+    std::uint32_t code = 0;
+    int idx = 0;
+    for (int len = 1; len <= max_len; ++len) {
+      code <<= 1;
+      first_code[len] = code;
+      first_index[len] = idx;
+      code += static_cast<std::uint32_t>(count_at[len]);
+      idx += count_at[len];
+    }
+  }
+
+  const std::uint64_t payload_size = in.GetVarU64();
+  std::vector<std::uint8_t> payload(payload_size);
+  in.GetBytes(payload.data(), payload_size);
+  BitReader bits(payload.data(), payload.size());
+
+  for (std::uint64_t k = 0; k < count; ++k) {
+    std::uint32_t code = 0;
+    int len = 0;
+    while (true) {
+      code = (code << 1) | static_cast<std::uint32_t>(bits.GetBit());
+      ++len;
+      GLSC_CHECK_MSG(len <= max_len, "corrupt Huffman stream");
+      if (count_at[len] > 0 &&
+          code - first_code[len] < static_cast<std::uint32_t>(count_at[len])) {
+        const int sorted_pos =
+            first_index[len] + static_cast<int>(code - first_code[len]);
+        symbols.push_back(alphabet[static_cast<std::size_t>(order[sorted_pos])]);
+        break;
+      }
+    }
+  }
+  return symbols;
+}
+
+double SymbolEntropyBits(const std::vector<std::int32_t>& symbols) {
+  if (symbols.empty()) return 0.0;
+  std::map<std::int32_t, std::uint64_t> freq;
+  for (const auto s : symbols) ++freq[s];
+  const double n = static_cast<double>(symbols.size());
+  double bits = 0.0;
+  for (const auto& [sym, f] : freq) {
+    const double p = static_cast<double>(f) / n;
+    bits += -static_cast<double>(f) * std::log2(p);
+  }
+  return bits;
+}
+
+}  // namespace glsc::codec

@@ -1,0 +1,22 @@
+// Canonical Huffman coding of signed integer symbol streams. This is the
+// entropy backend of the SZ-like rule-based baseline (quantization codes are
+// heavily skewed toward zero, which Huffman exploits well at much higher
+// speed than arithmetic coding).
+//
+// Stream layout: symbol table (count, then per-symbol value + code length),
+// followed by the bit-packed payload. Symbols unseen at table-build time
+// cannot occur (the table is built from the exact stream being coded).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace glsc::codec {
+
+std::vector<std::uint8_t> HuffmanEncode(const std::vector<std::int32_t>& symbols);
+std::vector<std::int32_t> HuffmanDecode(const std::vector<std::uint8_t>& bytes);
+
+// Shannon entropy of the symbol stream in bits (lower bound for the payload).
+double SymbolEntropyBits(const std::vector<std::int32_t>& symbols);
+
+}  // namespace glsc::codec

@@ -1,0 +1,78 @@
+#include "codec/range_coder.h"
+
+#include "util/check.h"
+
+namespace glsc::codec {
+namespace {
+
+constexpr std::uint32_t kTop = 1u << 24;
+constexpr std::uint32_t kBot = 1u << 16;
+
+}  // namespace
+
+void RangeEncoder::Encode(std::uint32_t cum, std::uint32_t freq,
+                          std::uint32_t total) {
+  GLSC_DCHECK(freq > 0);
+  GLSC_DCHECK(cum + freq <= total);
+  GLSC_DCHECK(total < kMaxTotal);
+  range_ /= total;
+  low_ += cum * range_;
+  range_ *= freq;
+  Normalize();
+}
+
+void RangeEncoder::Normalize() {
+  // Emit the top byte while it is settled (no carry can change it), or force
+  // range growth when it underflows below kBot (carry-free squeeze).
+  while ((low_ ^ (low_ + range_)) < kTop ||
+         (range_ < kBot && ((range_ = (0u - low_) & (kBot - 1)), true)) != false) {
+    out_.push_back(static_cast<std::uint8_t>(low_ >> 24));
+    low_ <<= 8;
+    range_ <<= 8;
+  }
+}
+
+std::vector<std::uint8_t> RangeEncoder::Finish() {
+  for (int i = 0; i < 4; ++i) {
+    out_.push_back(static_cast<std::uint8_t>(low_ >> 24));
+    low_ <<= 8;
+  }
+  return std::move(out_);
+}
+
+RangeDecoder::RangeDecoder(const std::uint8_t* data, std::size_t size)
+    : data_(data), size_(size) {
+  for (int i = 0; i < 4; ++i) code_ = (code_ << 8) | NextByte();
+}
+
+std::uint8_t RangeDecoder::NextByte() {
+  // Reads past the end return 0; the encoder's 4-byte flush guarantees all
+  // meaningful state has been emitted.
+  return pos_ < size_ ? data_[pos_++] : 0;
+}
+
+std::uint32_t RangeDecoder::DecodeSlot(std::uint32_t total) {
+  GLSC_DCHECK(total < RangeEncoder::kMaxTotal);
+  range_ /= total;
+  const std::uint32_t slot = (code_ - low_) / range_;
+  // Clamp: rounding at the interval boundary can land exactly on `total`.
+  return slot < total ? slot : total - 1;
+}
+
+void RangeDecoder::Consume(std::uint32_t cum, std::uint32_t freq,
+                           std::uint32_t /*total*/) {
+  low_ += cum * range_;
+  range_ *= freq;
+  Normalize();
+}
+
+void RangeDecoder::Normalize() {
+  while ((low_ ^ (low_ + range_)) < kTop ||
+         (range_ < kBot && ((range_ = (0u - low_) & (kBot - 1)), true)) != false) {
+    code_ = (code_ << 8) | NextByte();
+    low_ <<= 8;
+    range_ <<= 8;
+  }
+}
+
+}  // namespace glsc::codec

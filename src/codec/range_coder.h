@@ -1,0 +1,57 @@
+// Carry-free 32-bit range coder (Subbotin variant). This is the arithmetic
+// coding backend for every learned compressor in the repository: symbols are
+// coded against cumulative-frequency models whose total must stay below
+// kMaxTotal (16-bit headroom guarantees the renormalization invariant).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace glsc::codec {
+
+class RangeEncoder {
+ public:
+  static constexpr std::uint32_t kMaxTotal = 1u << 16;
+
+  // Encodes a symbol occupying [cum, cum+freq) out of [0, total).
+  // Requires 0 < freq, cum + freq <= total, total < kMaxTotal.
+  void Encode(std::uint32_t cum, std::uint32_t freq, std::uint32_t total);
+
+  // Flushes the remaining state; the encoder must not be reused afterwards.
+  std::vector<std::uint8_t> Finish();
+
+  std::size_t ByteCount() const { return out_.size(); }
+
+ private:
+  void Normalize();
+
+  std::uint32_t low_ = 0;
+  std::uint32_t range_ = 0xFFFFFFFFu;
+  std::vector<std::uint8_t> out_;
+};
+
+class RangeDecoder {
+ public:
+  RangeDecoder(const std::uint8_t* data, std::size_t size);
+
+  // Returns the frequency slot of the next symbol, in [0, total).
+  // Caller locates the symbol s with cum(s) <= slot < cum(s)+freq(s), then
+  // must call Consume with that symbol's interval.
+  std::uint32_t DecodeSlot(std::uint32_t total);
+  void Consume(std::uint32_t cum, std::uint32_t freq, std::uint32_t total);
+
+  std::size_t BytesRead() const { return pos_; }
+
+ private:
+  void Normalize();
+  std::uint8_t NextByte();
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  std::uint32_t low_ = 0;
+  std::uint32_t range_ = 0xFFFFFFFFu;
+  std::uint32_t code_ = 0;
+};
+
+}  // namespace glsc::codec

@@ -1,0 +1,45 @@
+// Learnable factorized prior over the hyperlatent z: each channel is modeled
+// with a discretized logistic density with trainable location mu_c and scale
+// s_c = exp(log_s_c). This stands in for the non-parametric factorized
+// density of Ballé et al. [4] — it is differentiable for training and shares
+// its (mu, s) values with codec::LogisticChannelCodec for actual coding, so
+// estimated and coded rates agree.
+#pragma once
+
+#include <vector>
+
+#include "codec/factorized_prior.h"
+#include "nn/layer.h"
+
+namespace glsc::compress {
+
+class FactorizedPrior {
+ public:
+  explicit FactorizedPrior(std::int64_t channels,
+                           const std::string& name = "prior");
+
+  std::int64_t channels() const { return channels_; }
+
+  // Differentiable rate of noisy z~ [B, C, ...]: returns total bits and
+  // accumulates d(bits)/dz into grad_z (same shape) and parameter grads.
+  double RateBits(const Tensor& z, Tensor* grad_z);
+  // Rate without gradients.
+  double RateBits(const Tensor& z) const;
+
+  // Coding hooks (integer-valued z).
+  std::vector<std::uint8_t> Encode(const Tensor& z) const;
+  Tensor Decode(const std::vector<std::uint8_t>& bytes, const Shape& shape) const;
+
+  std::vector<nn::Param*> Params() { return {&mu_, &log_s_}; }
+
+ private:
+  std::vector<float> MuValues() const;
+  std::vector<float> ScaleValues() const;
+
+  std::int64_t channels_;
+  nn::Param mu_;     // [C]
+  nn::Param log_s_;  // [C]
+  mutable codec::LogisticChannelCodec codec_;
+};
+
+}  // namespace glsc::compress

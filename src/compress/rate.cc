@@ -1,0 +1,64 @@
+#include "compress/rate.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace glsc::compress {
+namespace {
+
+constexpr double kLn2 = 0.6931471805599453;
+constexpr double kSigmaFloor = 0.05;  // matches the codec's minimum scale
+constexpr double kPmfFloor = 1e-9;
+
+double NormalCdf(double x) { return 0.5 * std::erfc(-x / std::sqrt(2.0)); }
+double NormalPdf(double x) {
+  return std::exp(-0.5 * x * x) / std::sqrt(2.0 * 3.14159265358979323846);
+}
+
+}  // namespace
+
+double GaussianRateBits(const Tensor& y, const Tensor& mu, const Tensor& sigma,
+                        Tensor* grad_y, Tensor* grad_mu, Tensor* grad_sigma) {
+  GLSC_CHECK(y.shape() == mu.shape() && y.shape() == sigma.shape());
+  const std::int64_t n = y.numel();
+  const float* py = y.data();
+  const float* pm = mu.data();
+  const float* ps = sigma.data();
+  float* gy = grad_y != nullptr ? grad_y->data() : nullptr;
+  float* gm = grad_mu != nullptr ? grad_mu->data() : nullptr;
+  float* gs = grad_sigma != nullptr ? grad_sigma->data() : nullptr;
+
+  double total_bits = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const bool clamped = ps[i] < kSigmaFloor;
+    const double s = clamped ? kSigmaFloor : static_cast<double>(ps[i]);
+    const double a = (py[i] + 0.5 - pm[i]) / s;
+    const double b = (py[i] - 0.5 - pm[i]) / s;
+    const double p_raw = NormalCdf(a) - NormalCdf(b);
+    const bool floored = p_raw < kPmfFloor;
+    const double p = floored ? kPmfFloor : p_raw;
+    total_bits += -std::log2(p);
+    if (gy == nullptr) continue;
+
+    if (floored) continue;  // zero gradient through the floor
+    const double pdf_a = NormalPdf(a);
+    const double pdf_b = NormalPdf(b);
+    // dp/dy = (pdf(a) - pdf(b)) / s ; dp/dmu = -dp/dy ;
+    // dp/ds = -(a*pdf(a) - b*pdf(b)) / s.
+    const double dp_dy = (pdf_a - pdf_b) / s;
+    const double dp_ds = -(a * pdf_a - b * pdf_b) / s;
+    const double scale = -1.0 / (p * kLn2);  // d(-log2 p)/dp
+    gy[i] += static_cast<float>(scale * dp_dy);
+    gm[i] += static_cast<float>(-scale * dp_dy);
+    if (!clamped) gs[i] += static_cast<float>(scale * dp_ds);
+  }
+  return total_bits;
+}
+
+double GaussianRateBits(const Tensor& y, const Tensor& mu,
+                        const Tensor& sigma) {
+  return GaussianRateBits(y, mu, sigma, nullptr, nullptr, nullptr);
+}
+
+}  // namespace glsc::compress

@@ -1,0 +1,26 @@
+// Differentiable bit-rate estimates used as the R term of the RD training
+// loss (Eq. 8). During training, quantization is replaced by additive
+// U(-1/2,1/2) noise, and the expected code length of an element is
+// -log2 of the noise-convolved density evaluated at the noisy sample.
+//
+// Two densities are needed:
+//   * Gaussian (for y, conditioned on hyperprior-predicted mu/sigma) —
+//     gradients flow to y~, mu and sigma;
+//   * logistic (for z, the factorized prior) — gradients flow to z~ and the
+//     per-channel (mu, log_s) prior parameters (see FactorizedPrior).
+#pragma once
+
+#include "tensor/tensor.h"
+
+namespace glsc::compress {
+
+// Total bits of y~ under N(mu, sigma^2) * U(-.5,.5). Accumulates d(bits)/dy,
+// d(bits)/dmu, d(bits)/dsigma into the gradient tensors (must be
+// zero-initialized or hold prior accumulations; same shape as y).
+double GaussianRateBits(const Tensor& y, const Tensor& mu, const Tensor& sigma,
+                        Tensor* grad_y, Tensor* grad_mu, Tensor* grad_sigma);
+
+// Rate without gradients (for eval-time estimates).
+double GaussianRateBits(const Tensor& y, const Tensor& mu, const Tensor& sigma);
+
+}  // namespace glsc::compress

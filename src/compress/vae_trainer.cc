@@ -1,0 +1,70 @@
+#include "compress/vae_trainer.h"
+
+#include "nn/optimizer.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace glsc::compress {
+
+VaeHyperprior::LossInfo TrainVae(VaeHyperprior* model,
+                                 const data::SequenceDataset& dataset,
+                                 const VaeTrainConfig& config) {
+  Rng rng(config.seed);
+  nn::Adam opt(model->Params(), config.learning_rate);
+
+  Timer timer;
+  VaeHyperprior::LossInfo window_avg;
+  std::int64_t window_count = 0;
+  double lambda = config.lambda_init;
+
+  for (std::int64_t iter = 1; iter <= config.iterations; ++iter) {
+    if (iter == config.lambda_double_at) lambda *= 2.0;
+    if (config.lr_decay_every > 0 && iter % config.lr_decay_every == 0) {
+      opt.set_lr(opt.lr() * 0.5f);
+    }
+
+    // Assemble a batch of normalized patches [B, 1, crop, crop].
+    std::vector<Tensor> patches;
+    patches.reserve(static_cast<std::size_t>(config.batch_size));
+    for (std::int64_t b = 0; b < config.batch_size; ++b) {
+      Tensor p = dataset.SampleTrainingPatch(config.crop, rng);
+      patches.push_back(p.Reshape({1, 1, p.dim(1), p.dim(2)}));
+    }
+    const Tensor batch = Concat0(patches);
+
+    opt.ZeroGrad();
+    const auto info = model->TrainingForwardBackward(batch, lambda, rng);
+    opt.ClipGradNorm(config.grad_clip);
+    opt.Step();
+
+    window_avg.mse += info.mse;
+    window_avg.bits_y += info.bits_y;
+    window_avg.bits_z += info.bits_z;
+    window_avg.loss += info.loss;
+    window_avg.pixels += info.pixels;
+    ++window_count;
+
+    if (config.log_every > 0 && iter % config.log_every == 0) {
+      LOG_INFO << "vae iter " << iter << "/" << config.iterations
+               << " loss=" << window_avg.loss / window_count
+               << " mse=" << window_avg.mse / window_count << " bpp="
+               << (window_avg.bits_y + window_avg.bits_z) /
+                      std::max<std::int64_t>(window_avg.pixels, 1)
+               << " (" << timer.Seconds() << "s)";
+      if (iter < config.iterations) {
+        window_avg = {};
+        window_count = 0;
+      }
+    }
+  }
+  if (window_count > 0) {
+    window_avg.mse /= window_count;
+    window_avg.bits_y /= window_count;
+    window_avg.bits_z /= window_count;
+    window_avg.loss /= window_count;
+    window_avg.pixels /= window_count;
+  }
+  return window_avg;
+}
+
+}  // namespace glsc::compress

@@ -1,0 +1,37 @@
+// Stage-1 training loop (§3.4, §4.3): randomly cropped patches, Adam, a
+// stepped learning-rate decay, and a lambda (rate weight) that doubles at the
+// schedule midpoint, mirroring the paper's 1e-5 -> doubled-at-250K recipe at
+// reduced scale.
+#pragma once
+
+#include "compress/vae.h"
+#include "data/dataset.h"
+
+namespace glsc::compress {
+
+struct VaeTrainConfig {
+  std::int64_t iterations = 800;
+  std::int64_t batch_size = 8;
+  std::int64_t crop = 32;
+  float learning_rate = 1e-3f;
+  // LR halves every `lr_decay_every` iterations (paper: 0.5x every 100K).
+  std::int64_t lr_decay_every = 400;
+  // Paper: 1e-5 doubled at the halfway mark, with R summed over the batch
+  // (Eq. 8). At reproduction scale the distortion floor is higher than the
+  // paper's (short schedule, small nets), so the default lambda sits lower to
+  // keep the rate term subdominant until reconstruction is good; the doubling
+  // step is retained.
+  double lambda_init = 1e-6;
+  // Lambda doubles once at this iteration (paper: at the halfway mark).
+  std::int64_t lambda_double_at = 400;
+  double grad_clip = 5.0;
+  std::int64_t log_every = 200;
+  std::uint64_t seed = 23;
+};
+
+// Trains in place; returns the final-window average loss info.
+VaeHyperprior::LossInfo TrainVae(VaeHyperprior* model,
+                                 const data::SequenceDataset& dataset,
+                                 const VaeTrainConfig& config);
+
+}  // namespace glsc::compress

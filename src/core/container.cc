@@ -1,0 +1,218 @@
+#include "core/container.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/thread_pool.h"
+
+namespace glsc::core {
+namespace {
+
+constexpr char kMagic[4] = {'G', 'L', 'S', 'C'};
+constexpr std::uint8_t kVersion = 1;
+
+void PutShape(const Shape& shape, ByteWriter* out) {
+  out->PutVarU64(shape.size());
+  for (const auto d : shape) out->PutVarU64(static_cast<std::uint64_t>(d));
+}
+
+Shape GetShape(ByteReader* in) {
+  Shape shape(in->GetVarU64());
+  for (auto& d : shape) d = static_cast<std::int64_t>(in->GetVarU64());
+  return shape;
+}
+
+}  // namespace
+
+void SerializeWindow(const CompressedWindow& window, ByteWriter* out) {
+  out->PutVarU64(window.keyframes.y_stream.size());
+  out->PutBytes(window.keyframes.y_stream.data(),
+                window.keyframes.y_stream.size());
+  out->PutVarU64(window.keyframes.z_stream.size());
+  out->PutBytes(window.keyframes.z_stream.data(),
+                window.keyframes.z_stream.size());
+  PutShape(window.keyframes.y_shape, out);
+  PutShape(window.keyframes.z_shape, out);
+  PutShape(window.window_shape, out);
+  out->PutU32(window.sample_seed);
+  out->PutVarU64(window.corrections.size());
+  for (const auto& c : window.corrections) {
+    out->PutVarU64(c.size());
+    out->PutBytes(c.data(), c.size());
+  }
+}
+
+CompressedWindow DeserializeWindow(ByteReader* in) {
+  CompressedWindow window;
+  window.keyframes.y_stream.resize(in->GetVarU64());
+  in->GetBytes(window.keyframes.y_stream.data(),
+               window.keyframes.y_stream.size());
+  window.keyframes.z_stream.resize(in->GetVarU64());
+  in->GetBytes(window.keyframes.z_stream.data(),
+               window.keyframes.z_stream.size());
+  window.keyframes.y_shape = GetShape(in);
+  window.keyframes.z_shape = GetShape(in);
+  window.window_shape = GetShape(in);
+  window.sample_seed = in->GetU32();
+  window.corrections.resize(in->GetVarU64());
+  for (auto& c : window.corrections) {
+    c.resize(in->GetVarU64());
+    in->GetBytes(c.data(), c.size());
+  }
+  return window;
+}
+
+void DatasetArchive::Add(std::int64_t variable, std::int64_t t0,
+                         CompressedWindow window) {
+  entries_.push_back({variable, t0, std::move(window)});
+}
+
+const data::FrameNorm& DatasetArchive::norm(std::int64_t variable,
+                                            std::int64_t t) const {
+  const std::int64_t frames = dataset_shape_[1];
+  return norms_[static_cast<std::size_t>(variable * frames + t)];
+}
+
+std::vector<std::uint8_t> DatasetArchive::Serialize() const {
+  ByteWriter out;
+  out.PutBytes(kMagic, sizeof kMagic);
+  out.PutU8(kVersion);
+  GLSC_CHECK(dataset_shape_.size() == 4);
+  for (const auto d : dataset_shape_) {
+    out.PutU64(static_cast<std::uint64_t>(d));
+  }
+  out.PutU64(static_cast<std::uint64_t>(window_));
+  GLSC_CHECK(static_cast<std::int64_t>(norms_.size()) ==
+             dataset_shape_[0] * dataset_shape_[1]);
+  for (const auto& n : norms_) {
+    out.PutF32(n.mean);
+    out.PutF32(n.range);
+  }
+  out.PutVarU64(entries_.size());
+  for (const auto& entry : entries_) {
+    out.PutVarU64(static_cast<std::uint64_t>(entry.variable));
+    out.PutVarU64(static_cast<std::uint64_t>(entry.t0));
+    SerializeWindow(entry.window, &out);
+  }
+  return out.Release();
+}
+
+DatasetArchive DatasetArchive::Deserialize(
+    const std::vector<std::uint8_t>& bytes) {
+  ByteReader in(bytes);
+  char magic[4];
+  in.GetBytes(magic, 4);
+  GLSC_CHECK_MSG(std::equal(magic, magic + 4, kMagic), "not a GLSC archive");
+  const std::uint8_t version = in.GetU8();
+  GLSC_CHECK_MSG(version == kVersion, "unsupported archive version "
+                                          << static_cast<int>(version));
+  DatasetArchive archive;
+  archive.dataset_shape_.resize(4);
+  for (auto& d : archive.dataset_shape_) {
+    d = static_cast<std::int64_t>(in.GetU64());
+  }
+  archive.window_ = static_cast<std::int64_t>(in.GetU64());
+  archive.norms_.resize(static_cast<std::size_t>(archive.dataset_shape_[0] *
+                                                 archive.dataset_shape_[1]));
+  for (auto& n : archive.norms_) {
+    n.mean = in.GetF32();
+    n.range = in.GetF32();
+  }
+  const std::uint64_t count = in.GetVarU64();
+  archive.entries_.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    ArchiveEntry entry;
+    entry.variable = static_cast<std::int64_t>(in.GetVarU64());
+    entry.t0 = static_cast<std::int64_t>(in.GetVarU64());
+    entry.window = DeserializeWindow(&in);
+    archive.entries_.push_back(std::move(entry));
+  }
+  return archive;
+}
+
+void DatasetArchive::WriteFile(const std::string& path) const {
+  WriteFileBytes(path, Serialize());
+}
+
+DatasetArchive DatasetArchive::ReadFile(const std::string& path) {
+  std::vector<std::uint8_t> bytes;
+  GLSC_CHECK_MSG(ReadFileBytes(path, &bytes), "cannot read " << path);
+  return Deserialize(bytes);
+}
+
+Tensor DatasetArchive::DecompressAll(GlscCompressor* compressor) const {
+  Tensor out(dataset_shape_);
+  const std::int64_t frames = dataset_shape_[1];
+  const std::int64_t hw = dataset_shape_[2] * dataset_shape_[3];
+  for (const auto& entry : entries_) {
+    const Tensor recon = compressor->Decompress(entry.window);
+    const std::int64_t n = recon.dim(0);
+    for (std::int64_t f = 0; f < n; ++f) {
+      const data::FrameNorm& fn = norm(entry.variable, entry.t0 + f);
+      float* dst =
+          out.data() + ((entry.variable * frames) + entry.t0 + f) * hw;
+      const float* src = recon.data() + f * hw;
+      for (std::int64_t i = 0; i < hw; ++i) {
+        dst[i] = src[i] * fn.range + fn.mean;
+      }
+    }
+  }
+  return out;
+}
+
+DatasetArchive CompressDatasetParallel(
+    const std::vector<GlscCompressor*>& workers,
+    const data::SequenceDataset& dataset, double tau) {
+  GLSC_CHECK(!workers.empty());
+  const std::int64_t window = workers[0]->config().window;
+  std::vector<data::FrameNorm> norms;
+  norms.reserve(
+      static_cast<std::size_t>(dataset.variables() * dataset.frames()));
+  for (std::int64_t v = 0; v < dataset.variables(); ++v) {
+    for (std::int64_t t = 0; t < dataset.frames(); ++t) {
+      norms.push_back(dataset.norm(v, t));
+    }
+  }
+  DatasetArchive archive(dataset.raw().shape(), window, std::move(norms));
+
+  const auto refs = dataset.EvaluationWindows(window);
+  std::vector<CompressedWindow> results(refs.size());
+  // Static round-robin assignment: worker k owns windows k, k+W, k+2W, ...
+  // Each worker's internal state is touched by exactly one thread.
+  ThreadPool& pool = GlobalThreadPool();
+  pool.ParallelFor(workers.size(), [&](std::size_t worker_id) {
+    for (std::size_t i = worker_id; i < refs.size(); i += workers.size()) {
+      const Tensor frames =
+          dataset.NormalizedWindow(refs[i].variable, refs[i].t0, window);
+      results[i] = workers[worker_id]->Compress(frames, tau);
+    }
+  });
+  for (std::size_t i = 0; i < refs.size(); ++i) {
+    archive.Add(refs[i].variable, refs[i].t0, std::move(results[i]));
+  }
+  return archive;
+}
+
+DatasetArchive CompressDataset(GlscCompressor* compressor,
+                               const data::SequenceDataset& dataset,
+                               double tau) {
+  std::vector<data::FrameNorm> norms;
+  norms.reserve(static_cast<std::size_t>(dataset.variables() *
+                                         dataset.frames()));
+  for (std::int64_t v = 0; v < dataset.variables(); ++v) {
+    for (std::int64_t t = 0; t < dataset.frames(); ++t) {
+      norms.push_back(dataset.norm(v, t));
+    }
+  }
+  DatasetArchive archive(dataset.raw().shape(),
+                         compressor->config().window, std::move(norms));
+  for (const auto& ref :
+       dataset.EvaluationWindows(compressor->config().window)) {
+    const Tensor window = dataset.NormalizedWindow(
+        ref.variable, ref.t0, compressor->config().window);
+    archive.Add(ref.variable, ref.t0, compressor->Compress(window, tau));
+  }
+  return archive;
+}
+
+}  // namespace glsc::core

@@ -1,0 +1,86 @@
+// On-disk container format for compressed data.
+//
+// A `CompressedWindow` serializes to a self-describing record; a
+// `DatasetArchive` packs the records for a whole [V, T, H, W] dataset —
+// per-frame normalization parameters included — so decompression needs only
+// the archive file plus the model artifact. Layout (little-endian):
+//
+//   archive  := magic "GLSC" u8 version | u64 V,T,H,W | u64 window
+//               | V*T x (f32 mean, f32 range) | varint count | count records
+//   record   := varint variable | varint t0
+//               | varint |y| y-bytes | varint |z| z-bytes
+//               | y-shape z-shape (varint rank + dims)
+//               | u32 sample_seed
+//               | varint n_corrections | per frame (varint len + bytes)
+//
+// The per-record header bytes here are exactly what
+// CompressedWindow::HeaderBytes() charges to the compression ratio, so the
+// reported CRs match what lands on disk.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/glsc_compressor.h"
+#include "data/dataset.h"
+
+namespace glsc::core {
+
+void SerializeWindow(const CompressedWindow& window, ByteWriter* out);
+CompressedWindow DeserializeWindow(ByteReader* in);
+
+struct ArchiveEntry {
+  std::int64_t variable = 0;
+  std::int64_t t0 = 0;
+  CompressedWindow window;
+};
+
+class DatasetArchive {
+ public:
+  DatasetArchive() = default;
+  DatasetArchive(Shape dataset_shape, std::int64_t window,
+                 std::vector<data::FrameNorm> norms)
+      : dataset_shape_(std::move(dataset_shape)),
+        window_(window),
+        norms_(std::move(norms)) {}
+
+  void Add(std::int64_t variable, std::int64_t t0, CompressedWindow window);
+
+  const Shape& dataset_shape() const { return dataset_shape_; }
+  std::int64_t window() const { return window_; }
+  const std::vector<ArchiveEntry>& entries() const { return entries_; }
+  const data::FrameNorm& norm(std::int64_t variable, std::int64_t t) const;
+
+  std::vector<std::uint8_t> Serialize() const;
+  static DatasetArchive Deserialize(const std::vector<std::uint8_t>& bytes);
+
+  void WriteFile(const std::string& path) const;
+  static DatasetArchive ReadFile(const std::string& path);
+
+  // Decompresses every record back into a full [V, T, H, W] tensor in
+  // physical units (frames the archive does not cover stay zero).
+  Tensor DecompressAll(GlscCompressor* compressor) const;
+
+ private:
+  Shape dataset_shape_;  // [V, T, H, W]
+  std::int64_t window_ = 0;
+  std::vector<data::FrameNorm> norms_;  // V*T entries
+  std::vector<ArchiveEntry> entries_;
+};
+
+// Convenience: compresses every evaluation window of `dataset` at bound tau.
+DatasetArchive CompressDataset(GlscCompressor* compressor,
+                               const data::SequenceDataset& dataset,
+                               double tau);
+
+// Shared-memory parallel variant. GlscCompressor instances are NOT
+// thread-safe (explicit-backward layers cache activations), so the caller
+// provides one instance per worker — typically clones loaded from the same
+// artifact — and windows are distributed over them via the global thread
+// pool. Output is identical to the serial version (window order is fixed,
+// sampling seeds are content-derived).
+DatasetArchive CompressDatasetParallel(
+    const std::vector<GlscCompressor*>& workers,
+    const data::SequenceDataset& dataset, double tau);
+
+}  // namespace glsc::core

@@ -1,0 +1,153 @@
+#include "core/glsc_compressor.h"
+
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace glsc::core {
+
+std::size_t CompressedWindow::LatentBytes() const {
+  return keyframes.TotalBytes();
+}
+
+std::size_t CompressedWindow::CorrectionBytes() const {
+  std::size_t n = 0;
+  for (const auto& c : corrections) n += c.size();
+  return n;
+}
+
+std::size_t CompressedWindow::HeaderBytes() const {
+  const std::size_t frames =
+      window_shape.empty() ? 0 : static_cast<std::size_t>(window_shape[0]);
+  // seed (4) + window dims (3 x 4) + per-frame (mean, range) float32 pair.
+  return 4 + 12 + frames * 2 * sizeof(float);
+}
+
+GlscCompressor::GlscCompressor(const GlscConfig& config)
+    : config_(config),
+      vae_(config.vae),
+      schedule_(config.schedule_kind, config.schedule_steps),
+      unet_(config.unet),
+      pca_(config.pca) {
+  GLSC_CHECK_MSG(config_.unet.EffectiveIn() == config_.vae.latent_channels,
+                 "UNet latent width must match the VAE latent width");
+  key_idx_ = diffusion::SelectKeyframes(config_.strategy, config_.window,
+                                        config_.interval, config_.key_count);
+  gen_idx_ = diffusion::GeneratedIndices(key_idx_, config_.window);
+}
+
+Tensor GlscCompressor::DecodeWindowFromLatents(const Tensor& y_keys,
+                                               std::uint32_t sample_seed,
+                                               std::int64_t sample_steps,
+                                               const Shape& window_shape) {
+  if (sample_steps <= 0) sample_steps = config_.sample_steps;
+  // Both sides derive the min-max bounds from the keyframe latents (§3.3
+  // normalization; see conditioner.h for why this stores nothing).
+  const diffusion::LatentNorm norm = diffusion::LatentNorm::FromTensor(y_keys);
+  const Tensor keys_normed = norm.Normalize(y_keys);
+
+  Rng sample_rng(sample_seed);
+  diffusion::SamplerConfig sampler_cfg;
+  sampler_cfg.steps = sample_steps;
+  const Tensor gen_normed = diffusion::SampleConditional(
+      &unet_, schedule_, sampler_cfg, keys_normed, key_idx_, config_.window,
+      sample_rng);
+
+  // Generated latents return to integer latent space (the VAE decoder was
+  // trained on quantized latents).
+  const Tensor gen_latents = Round(norm.Denormalize(gen_normed));
+  const Tensor full_latents =
+      diffusion::Compose(gen_latents, y_keys, gen_idx_, key_idx_);
+
+  const Tensor decoded = vae_.DecodeLatent(full_latents);  // [N, 1, h*4, w*4]
+  return decoded.Reshape(
+      {window_shape[0], window_shape[1], window_shape[2]});
+}
+
+CompressedWindow GlscCompressor::Compress(const Tensor& window, double tau,
+                                          std::int64_t sample_steps,
+                                          Tensor* recon_out) {
+  GLSC_CHECK(window.rank() == 3);
+  GLSC_CHECK_MSG(window.dim(0) == config_.window,
+                 "window has " << window.dim(0) << " frames, config expects "
+                               << config_.window);
+  CompressedWindow out;
+  out.window_shape = window.shape();
+  // Deterministic per-content seed: decompression must reproduce the exact
+  // same sampling trajectory that the corrections were computed against.
+  out.sample_seed = static_cast<std::uint32_t>(
+      0x9E3779B9u * static_cast<std::uint32_t>(window.numel()) ^ 0xA5A5A5A5u);
+
+  // 1. Keyframes through the VAE + hyperprior (the stored latents).
+  const Tensor keys = diffusion::GatherFrames(window, key_idx_);
+  const Tensor keys_batch =
+      keys.Reshape({keys.dim(0), 1, keys.dim(1), keys.dim(2)});
+  out.keyframes = vae_.Compress(keys_batch);
+
+  // 2. Decoder-identical reconstruction.
+  const Tensor y_keys = vae_.DecompressLatents(out.keyframes);
+  Tensor recon = DecodeWindowFromLatents(y_keys, out.sample_seed, sample_steps,
+                                         out.window_shape);
+
+  // 3. Error-bound corrections per frame.
+  if (tau > 0.0) {
+    GLSC_CHECK_MSG(pca_.fitted(), "PCA basis not fitted; call Fit first");
+    out.corrections.resize(static_cast<std::size_t>(window.dim(0)));
+    const std::int64_t hw = window.dim(1) * window.dim(2);
+    for (std::int64_t f = 0; f < window.dim(0); ++f) {
+      Tensor orig({window.dim(1), window.dim(2)});
+      Tensor rec({window.dim(1), window.dim(2)});
+      std::copy_n(window.data() + f * hw, hw, orig.data());
+      std::copy_n(recon.data() + f * hw, hw, rec.data());
+      const auto correction = pca_.Correct(orig, &rec, tau);
+      out.corrections[static_cast<std::size_t>(f)] = correction.payload;
+      std::copy_n(rec.data(), hw, recon.data() + f * hw);
+    }
+  }
+  if (recon_out != nullptr) *recon_out = recon;
+  return out;
+}
+
+Tensor GlscCompressor::Decompress(const CompressedWindow& compressed,
+                                  std::int64_t sample_steps) {
+  const Tensor y_keys = vae_.DecompressLatents(compressed.keyframes);
+  Tensor recon =
+      DecodeWindowFromLatents(y_keys, compressed.sample_seed, sample_steps,
+                              compressed.window_shape);
+  if (!compressed.corrections.empty()) {
+    const std::int64_t hw =
+        compressed.window_shape[1] * compressed.window_shape[2];
+    for (std::int64_t f = 0; f < compressed.window_shape[0]; ++f) {
+      const auto& payload = compressed.corrections[static_cast<std::size_t>(f)];
+      if (payload.empty()) continue;
+      Tensor frame({compressed.window_shape[1], compressed.window_shape[2]});
+      std::copy_n(recon.data() + f * hw, hw, frame.data());
+      pca_.Apply(payload, &frame);
+      std::copy_n(frame.data(), hw, recon.data() + f * hw);
+    }
+  }
+  return recon;
+}
+
+Tensor GlscCompressor::Reconstruct(const Tensor& window, std::uint32_t seed,
+                                   std::int64_t sample_steps) {
+  const Tensor keys = diffusion::GatherFrames(window, key_idx_);
+  const Tensor keys_batch =
+      keys.Reshape({keys.dim(0), 1, keys.dim(1), keys.dim(2)});
+  const Tensor y_keys = Round(vae_.EncodeLatent(keys_batch));
+  return DecodeWindowFromLatents(y_keys, seed, sample_steps, window.shape());
+}
+
+void GlscCompressor::Save(ByteWriter* out) {
+  vae_.Save(out);
+  unet_.Save(out);
+  out->PutU8(pca_.fitted() ? 1 : 0);
+  if (pca_.fitted()) pca_.Save(out);
+}
+
+void GlscCompressor::Load(ByteReader* in) {
+  vae_.Load(in);
+  unet_.Load(in);
+  if (in->GetU8() != 0) pca_.Load(in);
+}
+
+}  // namespace glsc::core

@@ -1,0 +1,116 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace glsc::data {
+
+SequenceDataset::SequenceDataset(Tensor field) : field_(std::move(field)) {
+  GLSC_CHECK(field_.rank() == 4);
+  const std::int64_t v = field_.dim(0);
+  const std::int64_t t = field_.dim(1);
+  const std::int64_t hw = field_.dim(2) * field_.dim(3);
+  norms_.resize(static_cast<std::size_t>(v * t));
+  for (std::int64_t vi = 0; vi < v; ++vi) {
+    for (std::int64_t ti = 0; ti < t; ++ti) {
+      const float* p = field_.data() + (vi * t + ti) * hw;
+      double sum = 0.0;
+      float mn = p[0], mx = p[0];
+      for (std::int64_t k = 0; k < hw; ++k) {
+        sum += p[k];
+        mn = std::min(mn, p[k]);
+        mx = std::max(mx, p[k]);
+      }
+      FrameNorm& norm = norms_[static_cast<std::size_t>(vi * t + ti)];
+      norm.mean = static_cast<float>(sum / hw);
+      norm.range = std::max(mx - mn, 1e-12f);
+    }
+  }
+}
+
+const FrameNorm& SequenceDataset::norm(std::int64_t variable,
+                                       std::int64_t t) const {
+  return norms_[static_cast<std::size_t>(variable * frames() + t)];
+}
+
+Tensor SequenceDataset::NormalizedFrame(std::int64_t variable,
+                                        std::int64_t t) const {
+  const std::int64_t hw = height() * width();
+  const FrameNorm& fn = norm(variable, t);
+  Tensor out({height(), width()});
+  const float* src = field_.data() + (variable * frames() + t) * hw;
+  float* dst = out.data();
+  for (std::int64_t k = 0; k < hw; ++k) dst[k] = (src[k] - fn.mean) / fn.range;
+  return out;
+}
+
+Tensor SequenceDataset::NormalizedWindow(std::int64_t variable,
+                                         std::int64_t t0,
+                                         std::int64_t n) const {
+  GLSC_CHECK(t0 >= 0 && t0 + n <= frames());
+  Tensor out({n, height(), width()});
+  const std::int64_t hw = height() * width();
+  for (std::int64_t i = 0; i < n; ++i) {
+    const Tensor frame = NormalizedFrame(variable, t0 + i);
+    std::copy_n(frame.data(), hw, out.data() + i * hw);
+  }
+  return out;
+}
+
+Tensor SequenceDataset::Denormalize(const Tensor& window, std::int64_t variable,
+                                    std::int64_t t0) const {
+  GLSC_CHECK(window.rank() == 3);
+  const std::int64_t n = window.dim(0);
+  const std::int64_t hw = window.dim(1) * window.dim(2);
+  Tensor out(window.shape());
+  for (std::int64_t i = 0; i < n; ++i) {
+    const FrameNorm& fn = norm(variable, t0 + i);
+    const float* src = window.data() + i * hw;
+    float* dst = out.data() + i * hw;
+    for (std::int64_t k = 0; k < hw; ++k) dst[k] = src[k] * fn.range + fn.mean;
+  }
+  return out;
+}
+
+Tensor SequenceDataset::SampleTrainingWindow(std::int64_t n, std::int64_t crop,
+                                             Rng& rng) const {
+  GLSC_CHECK(n <= frames());
+  const std::int64_t v =
+      static_cast<std::int64_t>(rng.UniformInt(static_cast<std::uint64_t>(variables())));
+  const std::int64_t t0 = static_cast<std::int64_t>(
+      rng.UniformInt(static_cast<std::uint64_t>(frames() - n + 1)));
+  const std::int64_t ch = std::min(crop, height());
+  const std::int64_t cw = std::min(crop, width());
+  const std::int64_t y0 = static_cast<std::int64_t>(
+      rng.UniformInt(static_cast<std::uint64_t>(height() - ch + 1)));
+  const std::int64_t x0 = static_cast<std::int64_t>(
+      rng.UniformInt(static_cast<std::uint64_t>(width() - cw + 1)));
+
+  Tensor out({n, ch, cw});
+  for (std::int64_t i = 0; i < n; ++i) {
+    const Tensor frame = NormalizedFrame(v, t0 + i);
+    for (std::int64_t y = 0; y < ch; ++y) {
+      std::copy_n(frame.data() + (y0 + y) * width() + x0, cw,
+                  out.data() + (i * ch + y) * cw);
+    }
+  }
+  return out;
+}
+
+Tensor SequenceDataset::SampleTrainingPatch(std::int64_t crop, Rng& rng) const {
+  return SampleTrainingWindow(1, crop, rng);
+}
+
+std::vector<SequenceDataset::WindowRef> SequenceDataset::EvaluationWindows(
+    std::int64_t n) const {
+  std::vector<WindowRef> refs;
+  for (std::int64_t v = 0; v < variables(); ++v) {
+    for (std::int64_t t0 = 0; t0 + n <= frames(); t0 += n) {
+      refs.push_back({v, t0});
+    }
+  }
+  return refs;
+}
+
+}  // namespace glsc::data

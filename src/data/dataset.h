@@ -1,0 +1,68 @@
+// Dataset wrapper: turns a generated [V, T, H, W] field into the training and
+// evaluation units the models consume —
+//   * per-frame normalization to zero mean / unit range (§4.3 of the paper:
+//     "We normalize each frame independently to have zero mean and unit
+//     range"), invertible from two floats per frame;
+//   * random (variable, window, crop) samples for training;
+//   * deterministic enumeration of evaluation windows.
+#pragma once
+
+#include <vector>
+
+#include "data/field_generators.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace glsc::data {
+
+// Per-frame affine normalization parameters: x_norm = (x - mean) / range.
+struct FrameNorm {
+  float mean = 0.0f;
+  float range = 1.0f;
+};
+
+class SequenceDataset {
+ public:
+  // Takes ownership of a [V, T, H, W] field tensor.
+  explicit SequenceDataset(Tensor field);
+
+  std::int64_t variables() const { return field_.dim(0); }
+  std::int64_t frames() const { return field_.dim(1); }
+  std::int64_t height() const { return field_.dim(2); }
+  std::int64_t width() const { return field_.dim(3); }
+  std::size_t OriginalBytes() const {
+    return static_cast<std::size_t>(field_.numel()) * sizeof(float);
+  }
+
+  const Tensor& raw() const { return field_; }
+  // Normalized copy of one frame: [H, W].
+  Tensor NormalizedFrame(std::int64_t variable, std::int64_t t) const;
+  // Normalized window of N consecutive frames: [N, H, W].
+  Tensor NormalizedWindow(std::int64_t variable, std::int64_t t0,
+                          std::int64_t n) const;
+  // Un-normalizes a reconstructed window back to physical units.
+  Tensor Denormalize(const Tensor& window, std::int64_t variable,
+                     std::int64_t t0) const;
+  const FrameNorm& norm(std::int64_t variable, std::int64_t t) const;
+
+  // Random [n, crop, crop] training window (normalized). Falls back to the
+  // full spatial extent when crop exceeds it.
+  Tensor SampleTrainingWindow(std::int64_t n, std::int64_t crop,
+                              Rng& rng) const;
+  // Random single [1, crop, crop] frame patch (normalized) for VAE training.
+  Tensor SampleTrainingPatch(std::int64_t crop, Rng& rng) const;
+
+  // Deterministic evaluation coverage: all (variable, window-start) pairs for
+  // non-overlapping windows of length n.
+  struct WindowRef {
+    std::int64_t variable;
+    std::int64_t t0;
+  };
+  std::vector<WindowRef> EvaluationWindows(std::int64_t n) const;
+
+ private:
+  Tensor field_;                  // [V, T, H, W] raw physical values
+  std::vector<FrameNorm> norms_;  // V * T entries
+};
+
+}  // namespace glsc::data

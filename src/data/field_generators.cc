@@ -1,0 +1,294 @@
+#include "data/field_generators.h"
+#include <algorithm>
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace glsc::data {
+namespace {
+
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+// Bilinear sample of a periodic grid at fractional coordinates.
+float SamplePeriodic(const std::vector<float>& grid, std::int64_t h,
+                     std::int64_t w, double y, double x) {
+  const double fy = y - std::floor(y / static_cast<double>(h)) * h;
+  const double fx = x - std::floor(x / static_cast<double>(w)) * w;
+  const auto y0 = static_cast<std::int64_t>(fy) % h;
+  const auto x0 = static_cast<std::int64_t>(fx) % w;
+  const std::int64_t y1 = (y0 + 1) % h;
+  const std::int64_t x1 = (x0 + 1) % w;
+  const float ty = static_cast<float>(fy - std::floor(fy));
+  const float tx = static_cast<float>(fx - std::floor(fx));
+  const float v00 = grid[y0 * w + x0];
+  const float v01 = grid[y0 * w + x1];
+  const float v10 = grid[y1 * w + x0];
+  const float v11 = grid[y1 * w + x1];
+  return (1 - ty) * ((1 - tx) * v00 + tx * v01) +
+         ty * ((1 - tx) * v10 + tx * v11);
+}
+
+// 5-point periodic Laplacian into `out` (unit grid spacing).
+void PeriodicLaplacian(const std::vector<float>& u, std::int64_t h,
+                       std::int64_t w, std::vector<float>* out) {
+  for (std::int64_t i = 0; i < h; ++i) {
+    const std::int64_t up = (i + h - 1) % h;
+    const std::int64_t dn = (i + 1) % h;
+    for (std::int64_t j = 0; j < w; ++j) {
+      const std::int64_t lf = (j + w - 1) % w;
+      const std::int64_t rt = (j + 1) % w;
+      (*out)[i * w + j] = u[up * w + j] + u[dn * w + j] + u[i * w + lf] +
+                          u[i * w + rt] - 4.0f * u[i * w + j];
+    }
+  }
+}
+
+// Smooth random initial condition: superposition of low-wavenumber modes.
+std::vector<float> SmoothRandomField(std::int64_t h, std::int64_t w, Rng& rng,
+                                     int max_mode, float amplitude) {
+  std::vector<float> field(static_cast<std::size_t>(h * w), 0.0f);
+  const int modes = 8;
+  for (int m = 0; m < modes; ++m) {
+    const double ky = kTwoPi * rng.UniformInt(max_mode + 1) / h;
+    const double kx = kTwoPi * rng.UniformInt(max_mode + 1) / w;
+    const double phase = rng.Uniform(0.0, kTwoPi);
+    const float amp = amplitude * rng.UniformF(0.4f, 1.0f);
+    for (std::int64_t i = 0; i < h; ++i) {
+      for (std::int64_t j = 0; j < w; ++j) {
+        field[i * w + j] +=
+            amp * static_cast<float>(std::sin(ky * i + kx * j + phase));
+      }
+    }
+  }
+  return field;
+}
+
+}  // namespace
+
+const char* DatasetName(DatasetKind kind) {
+  switch (kind) {
+    case DatasetKind::kClimate: return "climate-e3sm";
+    case DatasetKind::kCombustion: return "combustion-s3d";
+    case DatasetKind::kTurbulence: return "turbulence-jhtdb";
+  }
+  return "unknown";
+}
+
+Tensor GenerateClimate(const FieldSpec& spec) {
+  const std::int64_t h = spec.height, w = spec.width;
+  Tensor out({spec.variables, spec.frames, h, w});
+  Rng rng(spec.seed);
+
+  for (std::int64_t v = 0; v < spec.variables; ++v) {
+    Rng var_rng = rng.Fork();
+    // Prognostic scalar (temperature-like), advected and diffused.
+    std::vector<float> u = SmoothRandomField(h, w, var_rng, 3, 4.0f);
+    std::vector<float> lap(u.size());
+    std::vector<float> next(u.size());
+
+    // Velocity: zonal jet with latitude profile + two counter-rotating gyres.
+    const double jet = var_rng.Uniform(0.5, 1.2);
+    const double gyre = var_rng.Uniform(0.3, 0.8);
+    const double diffusivity = var_rng.Uniform(0.02, 0.06);
+    const double forcing_amp = var_rng.Uniform(0.15, 0.35);
+    const double diurnal_period = 24.0;
+    // Offset so different variables have different baselines/scales, mimicking
+    // the heterogeneous value ranges of climate variables.
+    const float baseline = static_cast<float>(var_rng.Uniform(-5.0, 5.0)) *
+                           static_cast<float>(std::pow(10.0, v % 3));
+    const float scale = static_cast<float>(std::pow(10.0, v % 3));
+
+    const int substeps = 4;
+    for (std::int64_t t = 0; t < spec.frames; ++t) {
+      for (int s = 0; s < substeps; ++s) {
+        const double time = static_cast<double>(t) + s / double(substeps);
+        // Semi-Lagrangian advection: trace back along the velocity field.
+        for (std::int64_t i = 0; i < h; ++i) {
+          const double lat = kTwoPi * i / h;
+          const double vx = jet * (0.6 + 0.4 * std::sin(lat));
+          for (std::int64_t j = 0; j < w; ++j) {
+            const double lon = kTwoPi * j / w;
+            const double vy = gyre * std::sin(lon) * std::cos(lat);
+            next[i * w + j] =
+                SamplePeriodic(u, h, w, i - vy, j - vx);
+          }
+        }
+        std::swap(u, next);
+        // Diffusion + diurnal radiative forcing.
+        PeriodicLaplacian(u, h, w, &lap);
+        const double day_phase =
+            std::sin(kTwoPi * time / diurnal_period);
+        for (std::int64_t i = 0; i < h; ++i) {
+          const double lat_weight = std::cos(kTwoPi * i / h);
+          for (std::int64_t j = 0; j < w; ++j) {
+            u[i * w + j] += static_cast<float>(
+                diffusivity * lap[i * w + j] +
+                forcing_amp / substeps * day_phase * lat_weight);
+          }
+        }
+      }
+      float* frame = out.data() + ((v * spec.frames) + t) * h * w;
+      for (std::int64_t k = 0; k < h * w; ++k) {
+        frame[k] = baseline + scale * u[static_cast<std::size_t>(k)];
+      }
+    }
+  }
+  return out;
+}
+
+Tensor GenerateCombustion(const FieldSpec& spec) {
+  const std::int64_t h = spec.height, w = spec.width;
+  Tensor out({spec.variables, spec.frames, h, w});
+  Rng rng(spec.seed);
+
+  // Gray–Scott prognostic fields u (reactant) and v (product).
+  std::vector<float> u(static_cast<std::size_t>(h * w), 1.0f);
+  std::vector<float> v(static_cast<std::size_t>(h * w), 0.0f);
+  // Ignition kernels: a few hot spots seeded with product.
+  const int kernels = 4 + static_cast<int>(rng.UniformInt(4));
+  for (int k = 0; k < kernels; ++k) {
+    const auto cy = static_cast<std::int64_t>(rng.UniformInt(h));
+    const auto cx = static_cast<std::int64_t>(rng.UniformInt(w));
+    const std::int64_t r = 2 + static_cast<std::int64_t>(rng.UniformInt(3));
+    for (std::int64_t i = -r; i <= r; ++i) {
+      for (std::int64_t j = -r; j <= r; ++j) {
+        if (i * i + j * j > r * r) continue;
+        const std::int64_t y = (cy + i + h) % h;
+        const std::int64_t x = (cx + j + w) % w;
+        u[y * w + x] = 0.5f;
+        v[y * w + x] = 0.25f;
+      }
+    }
+  }
+
+  const double du = 0.16, dv = 0.08;
+  const double feed = 0.035, kill = 0.060;
+  std::vector<float> lap_u(u.size()), lap_v(v.size());
+
+  // Per-"species" projection coefficients: each output channel is a smooth
+  // nonlinear function of (u, v), giving the strongly-correlated multi-channel
+  // structure of a reduced chemical mechanism.
+  struct Species {
+    float a, b, c, power, offset, scale;
+  };
+  std::vector<Species> species;
+  species.reserve(static_cast<std::size_t>(spec.variables));
+  for (std::int64_t s = 0; s < spec.variables; ++s) {
+    species.push_back({rng.UniformF(-1.0f, 1.0f), rng.UniformF(-1.0f, 1.0f),
+                       rng.UniformF(0.0f, 0.5f), rng.UniformF(1.0f, 2.0f),
+                       rng.UniformF(-0.2f, 0.2f),
+                       static_cast<float>(std::pow(10.0, s % 4))});
+  }
+
+  const int substeps = 8;
+  for (std::int64_t t = 0; t < spec.frames; ++t) {
+    for (int s = 0; s < substeps; ++s) {
+      PeriodicLaplacian(u, h, w, &lap_u);
+      PeriodicLaplacian(v, h, w, &lap_v);
+      for (std::size_t k = 0; k < u.size(); ++k) {
+        const float uv2 = u[k] * v[k] * v[k];
+        u[k] += static_cast<float>(du * lap_u[k] - uv2 +
+                                   feed * (1.0f - u[k]));
+        v[k] += static_cast<float>(dv * lap_v[k] + uv2 -
+                                   (feed + kill) * v[k]);
+      }
+    }
+    for (std::int64_t sp = 0; sp < spec.variables; ++sp) {
+      const Species& sc = species[static_cast<std::size_t>(sp)];
+      float* frame = out.data() + ((sp * spec.frames) + t) * h * w;
+      for (std::size_t k = 0; k < u.size(); ++k) {
+        const float mix = sc.a * u[k] + sc.b * v[k] + sc.c * u[k] * v[k];
+        frame[k] = sc.scale *
+                   (sc.offset + std::copysign(
+                                    std::pow(std::fabs(mix), sc.power), mix));
+      }
+    }
+  }
+  return out;
+}
+
+Tensor GenerateTurbulence(const FieldSpec& spec) {
+  const std::int64_t h = spec.height, w = spec.width;
+  Tensor out({spec.variables, spec.frames, h, w});
+  Rng rng(spec.seed);
+
+  // Divergence-free velocity from a streamfunction psi built of Fourier modes
+  // with k^(-5/3)-like amplitudes: (vx, vy) = (d psi/dy, -d psi/dx).
+  struct Mode {
+    double ky, kx, amp;
+    double re, im;      // complex OU state
+    double decorr;      // OU relaxation rate (faster for high k)
+  };
+  const int kmax = 8;
+  std::vector<Mode> modes;
+  for (int my = -kmax; my <= kmax; ++my) {
+    for (int mx = 1; mx <= kmax; ++mx) {  // half-plane (real field)
+      const double kmag = std::sqrt(static_cast<double>(my * my + mx * mx));
+      if (kmag < 1.0 || kmag > kmax) continue;
+      Mode m;
+      m.ky = kTwoPi * my / h;
+      m.kx = kTwoPi * mx / w;
+      // Energy spectrum E(k) ~ k^(-5/3)  =>  |psi_k| ~ k^(-17/6) up to the
+      // curl; the exact exponent matters less than the broadband decay.
+      m.amp = std::pow(kmag, -17.0 / 6.0);
+      m.re = rng.Normal() * m.amp;
+      m.im = rng.Normal() * m.amp;
+      m.decorr = 0.05 + 0.03 * kmag;  // small scales decorrelate faster
+      modes.push_back(m);
+    }
+  }
+
+  std::vector<float> vx(static_cast<std::size_t>(h * w));
+  std::vector<float> vy(static_cast<std::size_t>(h * w));
+
+  for (std::int64_t t = 0; t < spec.frames; ++t) {
+    // OU step for every mode amplitude.
+    for (auto& m : modes) {
+      const double theta = m.decorr;
+      const double noise = m.amp * std::sqrt(2.0 * theta);
+      m.re += -theta * m.re + noise * rng.Normal();
+      m.im += -theta * m.im + noise * rng.Normal();
+    }
+    // Evaluate the velocity components on the grid.
+    std::fill(vx.begin(), vx.end(), 0.0f);
+    std::fill(vy.begin(), vy.end(), 0.0f);
+    for (const auto& m : modes) {
+      for (std::int64_t i = 0; i < h; ++i) {
+        for (std::int64_t j = 0; j < w; ++j) {
+          const double phase = m.ky * i + m.kx * j;
+          const double c = std::cos(phase), s = std::sin(phase);
+          // psi = re*cos + im*sin; vx = dpsi/dy, vy = -dpsi/dx.
+          vx[i * w + j] += static_cast<float>(m.ky * (-m.re * s + m.im * c));
+          vy[i * w + j] -= static_cast<float>(m.kx * (-m.re * s + m.im * c));
+        }
+      }
+    }
+    for (std::int64_t ch = 0; ch < spec.variables; ++ch) {
+      const std::vector<float>& src = (ch % 2 == 0) ? vx : vy;
+      // Additional channels beyond (vx, vy) are scaled copies at different
+      // amplitudes — JHTDB stores velocity components per spatial region.
+      const float scale = static_cast<float>(std::pow(2.0, ch / 2));
+      float* frame = out.data() + ((ch * spec.frames) + t) * h * w;
+      for (std::size_t k = 0; k < src.size(); ++k) frame[k] = scale * src[k];
+    }
+  }
+  return out;
+}
+
+Tensor GenerateField(DatasetKind kind, const FieldSpec& spec) {
+  GLSC_CHECK(spec.variables >= 1 && spec.frames >= 1);
+  GLSC_CHECK(spec.height >= 8 && spec.width >= 8);
+  switch (kind) {
+    case DatasetKind::kClimate: return GenerateClimate(spec);
+    case DatasetKind::kCombustion: return GenerateCombustion(spec);
+    case DatasetKind::kTurbulence: return GenerateTurbulence(spec);
+  }
+  GLSC_CHECK_MSG(false, "unknown dataset kind");
+  return Tensor();
+}
+
+}  // namespace glsc::data

@@ -1,0 +1,50 @@
+#include "data/pgm.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+
+#include "util/check.h"
+
+namespace glsc::data {
+
+void WritePgm(const std::string& path, const Tensor& frame) {
+  GLSC_CHECK(frame.rank() == 2);
+  const std::int64_t h = frame.dim(0);
+  const std::int64_t w = frame.dim(1);
+  const float mn = frame.MinValue();
+  const float mx = frame.MaxValue();
+  const float scale = (mx > mn) ? 255.0f / (mx - mn) : 0.0f;
+
+  const auto parent = std::filesystem::path(path).parent_path();
+  if (!parent.empty()) std::filesystem::create_directories(parent);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  GLSC_CHECK_MSG(static_cast<bool>(out), "cannot open " << path);
+  out << "P5\n" << w << " " << h << "\n255\n";
+  const float* p = frame.data();
+  for (std::int64_t k = 0; k < h * w; ++k) {
+    const auto v = static_cast<unsigned char>(
+        std::clamp((p[k] - mn) * scale, 0.0f, 255.0f));
+    out.put(static_cast<char>(v));
+  }
+}
+
+void WritePgmWithZoom(const std::string& base_path, const Tensor& frame,
+                      std::int64_t cy, std::int64_t cx, std::int64_t size,
+                      std::int64_t zoom_factor) {
+  WritePgm(base_path + ".pgm", frame);
+  const std::int64_t h = frame.dim(0);
+  const std::int64_t w = frame.dim(1);
+  const std::int64_t y0 = std::clamp<std::int64_t>(cy - size / 2, 0, h - size);
+  const std::int64_t x0 = std::clamp<std::int64_t>(cx - size / 2, 0, w - size);
+  Tensor zoom({size * zoom_factor, size * zoom_factor});
+  for (std::int64_t y = 0; y < size * zoom_factor; ++y) {
+    for (std::int64_t x = 0; x < size * zoom_factor; ++x) {
+      zoom.At({y, x}) =
+          frame.At({y0 + y / zoom_factor, x0 + x / zoom_factor});
+    }
+  }
+  WritePgm(base_path + "_zoom.pgm", zoom);
+}
+
+}  // namespace glsc::data

@@ -1,0 +1,20 @@
+// Grayscale PGM output for the Figure-6 style visual comparisons: each frame
+// is range-normalized and written as an 8-bit image, optionally with a zoomed
+// crop (the paper's red-rectangle inset).
+#pragma once
+
+#include <string>
+
+#include "tensor/tensor.h"
+
+namespace glsc::data {
+
+// Writes a [H, W] field as binary PGM, scaling [min, max] -> [0, 255].
+void WritePgm(const std::string& path, const Tensor& frame);
+
+// Writes frame plus a (cy, cx, size) zoom crop upscaled by `zoom_factor`.
+void WritePgmWithZoom(const std::string& base_path, const Tensor& frame,
+                      std::int64_t cy, std::int64_t cx, std::int64_t size,
+                      std::int64_t zoom_factor);
+
+}  // namespace glsc::data

@@ -1,0 +1,38 @@
+// Forward-process noise schedule (Eq. 3-4): beta_t, alpha_t = 1 - beta_t and
+// the cumulative alpha_bar_t, plus "respacing" — selecting a stride-uniform
+// subset of timesteps so a model trained at T steps can be fine-tuned and
+// sampled at far fewer steps (§4.6 / Figure 5).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace glsc::diffusion {
+
+enum class ScheduleKind { kLinear, kCosine };
+
+class NoiseSchedule {
+ public:
+  NoiseSchedule(ScheduleKind kind, std::int64_t steps);
+
+  std::int64_t steps() const { return static_cast<std::int64_t>(betas_.size()); }
+  double beta(std::int64_t t) const { return betas_[static_cast<std::size_t>(t)]; }
+  double alpha(std::int64_t t) const { return 1.0 - beta(t); }
+  double alpha_bar(std::int64_t t) const {
+    return alpha_bars_[static_cast<std::size_t>(t)];
+  }
+  // alpha_bar_{t-1} with the t==0 convention of 1.
+  double alpha_bar_prev(std::int64_t t) const {
+    return t > 0 ? alpha_bar(t - 1) : 1.0;
+  }
+
+  // Uniform-stride subset of `count` timesteps (ascending, always including
+  // the final step). Used both for few-step fine-tuning and DDIM sampling.
+  std::vector<std::int64_t> Respace(std::int64_t count) const;
+
+ private:
+  std::vector<double> betas_;
+  std::vector<double> alpha_bars_;
+};
+
+}  // namespace glsc::diffusion

@@ -1,0 +1,31 @@
+// Conditional reverse-process sampling. Only G-frames carry noise; after each
+// denoising step the keyframes are re-composed into the window unchanged
+// (they are clean conditioning, exactly as in training). Supports the full
+// ancestral DDPM chain and respaced deterministic (DDIM, eta = 0) sampling
+// for the few-step fine-tuned models of §4.6.
+#pragma once
+
+#include "diffusion/conditioner.h"
+#include "diffusion/noise_schedule.h"
+#include "diffusion/spacetime_unet.h"
+#include "util/rng.h"
+
+namespace glsc::diffusion {
+
+struct SamplerConfig {
+  // Number of denoising steps actually executed; the timesteps are a
+  // uniform respacing of the model's training schedule.
+  std::int64_t steps = 32;
+  // eta = 0: deterministic DDIM update; eta = 1: ancestral DDPM variance.
+  double eta = 0.0;
+};
+
+// Generates the G-frame latents of a window given clean keyframe latents.
+// `keyframes`: packed [K, C, H, W] (normalized to [-1,1]);
+// returns packed generated frames [N-K, C, H, W] (normalized domain).
+Tensor SampleConditional(SpaceTimeUNet* model, const NoiseSchedule& schedule,
+                         const SamplerConfig& config, const Tensor& keyframes,
+                         const std::vector<std::int64_t>& key_idx,
+                         std::int64_t frames, Rng& rng);
+
+}  // namespace glsc::diffusion

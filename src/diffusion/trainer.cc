@@ -1,0 +1,115 @@
+#include "diffusion/trainer.h"
+
+#include <cmath>
+
+#include "nn/optimizer.h"
+#include "tensor/ops.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace glsc::diffusion {
+
+Tensor QuantizedLatentWindow(compress::VaeHyperprior* vae,
+                             const Tensor& frames_nhw) {
+  GLSC_CHECK(frames_nhw.rank() == 3);
+  const std::int64_t n = frames_nhw.dim(0);
+  const Tensor as_batch = frames_nhw.Reshape(
+      {n, 1, frames_nhw.dim(1), frames_nhw.dim(2)});
+  return Round(vae->EncodeLatent(as_batch));
+}
+
+double TrainDiffusion(SpaceTimeUNet* model, const NoiseSchedule& schedule,
+                      compress::VaeHyperprior* frozen_vae,
+                      const data::SequenceDataset& dataset,
+                      const DiffusionTrainConfig& config) {
+  Rng rng(config.seed);
+  nn::Adam opt(model->Params(), config.learning_rate);
+
+  const std::vector<std::int64_t> key_idx = SelectKeyframes(
+      config.strategy, config.window, config.interval, config.key_count);
+  const std::vector<std::int64_t> gen_idx =
+      GeneratedIndices(key_idx, config.window);
+  GLSC_CHECK_MSG(!gen_idx.empty(), "no frames left to generate");
+
+  // Timesteps: full schedule or the respaced fine-tuning subset.
+  std::vector<std::int64_t> t_pool;
+  if (config.finetune_steps > 0) {
+    t_pool = schedule.Respace(config.finetune_steps);
+  } else {
+    t_pool.resize(static_cast<std::size_t>(schedule.steps()));
+    for (std::int64_t t = 0; t < schedule.steps(); ++t) t_pool[t] = t;
+  }
+
+  Timer timer;
+  double window_loss = 0.0;
+  std::int64_t window_count = 0;
+  double last_avg = 0.0;
+
+  for (std::int64_t iter = 1; iter <= config.iterations; ++iter) {
+    // ---- Algorithm 1, lines 3-6: latent window, normalize, partition ----
+    const Tensor frames =
+        dataset.SampleTrainingWindow(config.window, config.crop, rng);
+    const Tensor y = QuantizedLatentWindow(frozen_vae, frames);
+
+    const Tensor keys_raw = GatherFrames(y, key_idx);
+    const LatentNorm norm = LatentNorm::FromTensor(keys_raw);
+    const Tensor y0 = norm.Normalize(y);
+    const Tensor y0_keys = GatherFrames(y0, key_idx);
+    const Tensor y0_gen = GatherFrames(y0, gen_idx);
+
+    // ---- lines 7-10: noise the G-frames at a random timestep ----
+    const std::int64_t t =
+        t_pool[rng.UniformInt(static_cast<std::uint64_t>(t_pool.size()))];
+    const double ab = schedule.alpha_bar(t);
+    const float signal = static_cast<float>(std::sqrt(ab));
+    const float noise_scale = static_cast<float>(std::sqrt(1.0 - ab));
+
+    Tensor eps = Tensor::Randn(y0_gen.shape(), rng);
+    Tensor y_t_gen(y0_gen.shape());
+    {
+      const float* p0 = y0_gen.data();
+      const float* pe = eps.data();
+      float* pt = y_t_gen.data();
+      for (std::int64_t i = 0; i < y_t_gen.numel(); ++i) {
+        pt[i] = signal * p0[i] + noise_scale * pe[i];
+      }
+    }
+    const Tensor window = Compose(y_t_gen, y0_keys, gen_idx, key_idx);
+
+    // ---- lines 11-13: predict, masked loss, update ----
+    const Tensor eps_hat_full = model->Forward(window, t);
+    const Tensor eps_hat = GatherFrames(eps_hat_full, gen_idx);
+
+    const double loss = MeanSquaredError(eps, eps_hat);
+
+    // d loss / d eps_hat on G-frames; zero on keyframes.
+    Tensor g_gen = Sub(eps_hat, eps);
+    MulScalarInPlace(&g_gen, 2.0f / static_cast<float>(eps.numel()));
+    Tensor g_full(eps_hat_full.shape());
+    ScatterFrames(g_gen, gen_idx, &g_full);
+
+    opt.ZeroGrad();
+    model->Backward(g_full);
+    opt.ClipGradNorm(config.grad_clip);
+    opt.Step();
+
+    window_loss += loss;
+    ++window_count;
+    if (config.log_every > 0 && iter % config.log_every == 0) {
+      last_avg = window_loss / window_count;
+      LOG_INFO << "diffusion iter " << iter << "/" << config.iterations
+               << " masked-mse=" << last_avg
+               << (config.finetune_steps > 0
+                       ? " (finetune@" + std::to_string(config.finetune_steps) +
+                             " steps)"
+                       : "")
+               << " (" << timer.Seconds() << "s)";
+      window_loss = 0.0;
+      window_count = 0;
+    }
+  }
+  if (window_count > 0) last_avg = window_loss / window_count;
+  return last_avg;
+}
+
+}  // namespace glsc::diffusion

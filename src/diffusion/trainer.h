@@ -1,0 +1,45 @@
+// Stage-2 training (Algorithm 1): sample a window of N consecutive frames,
+// project each frame through the FROZEN VAE encoder, round-quantize,
+// min-max normalize, partition into (C, G), noise only the G-frames at a
+// random timestep, and regress the injected noise with the loss masked to G.
+//
+// Few-step fine-tuning (§4.6): the same loop with timesteps restricted to a
+// respaced subset of the original schedule, run after full-schedule training.
+#pragma once
+
+#include "compress/vae.h"
+#include "data/dataset.h"
+#include "diffusion/conditioner.h"
+#include "diffusion/noise_schedule.h"
+#include "diffusion/spacetime_unet.h"
+
+namespace glsc::diffusion {
+
+struct DiffusionTrainConfig {
+  std::int64_t iterations = 600;
+  std::int64_t window = 16;  // N
+  std::int64_t crop = 32;    // data-space patch edge (latent edge = crop/4)
+  float learning_rate = 3e-4f;
+  double grad_clip = 1.0;
+  KeyframeStrategy strategy = KeyframeStrategy::kInterpolation;
+  std::int64_t interval = 3;   // interpolation stride
+  std::int64_t key_count = 6;  // prediction/mixed keyframe count
+  // 0 = train on the full schedule; > 0 = fine-tune on a respaced subset.
+  std::int64_t finetune_steps = 0;
+  std::int64_t log_every = 200;
+  std::uint64_t seed = 29;
+};
+
+// Trains in place; returns the mean masked-noise MSE over the final logging
+// window (the headline training metric).
+double TrainDiffusion(SpaceTimeUNet* model, const NoiseSchedule& schedule,
+                      compress::VaeHyperprior* frozen_vae,
+                      const data::SequenceDataset& dataset,
+                      const DiffusionTrainConfig& config);
+
+// Shared helper: frozen-VAE latent window for N frames [N, C_lat, h, w],
+// round-quantized (inference-identical path, no noise proxy).
+Tensor QuantizedLatentWindow(compress::VaeHyperprior* vae,
+                             const Tensor& frames_nhw);
+
+}  // namespace glsc::diffusion

@@ -1,0 +1,124 @@
+#include "nn/activations.h"
+
+#include <cmath>
+
+namespace glsc::nn {
+namespace {
+
+inline float Sigmoid(float x) { return 1.0f / (1.0f + std::exp(-x)); }
+
+}  // namespace
+
+Tensor SiLU::Forward(const Tensor& x, bool /*training*/) {
+  cached_input_ = x;
+  Tensor y(x.shape());
+  const float* px = x.data();
+  float* py = y.data();
+  const std::int64_t n = x.numel();
+  for (std::int64_t i = 0; i < n; ++i) py[i] = px[i] * Sigmoid(px[i]);
+  return y;
+}
+
+Tensor SiLU::Backward(const Tensor& grad_out) {
+  GLSC_CHECK(cached_input_.defined());
+  Tensor grad_in(grad_out.shape());
+  const float* px = cached_input_.data();
+  const float* pg = grad_out.data();
+  float* pi = grad_in.data();
+  const std::int64_t n = grad_out.numel();
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float s = Sigmoid(px[i]);
+    // d/dx [x*s(x)] = s(x) * (1 + x * (1 - s(x)))
+    pi[i] = pg[i] * s * (1.0f + px[i] * (1.0f - s));
+  }
+  cached_input_ = Tensor();
+  return grad_in;
+}
+
+Tensor ReLU::Forward(const Tensor& x, bool /*training*/) {
+  cached_input_ = x;
+  Tensor y(x.shape());
+  const float* px = x.data();
+  float* py = y.data();
+  const std::int64_t n = x.numel();
+  for (std::int64_t i = 0; i < n; ++i) py[i] = px[i] > 0.0f ? px[i] : 0.0f;
+  return y;
+}
+
+Tensor ReLU::Backward(const Tensor& grad_out) {
+  GLSC_CHECK(cached_input_.defined());
+  Tensor grad_in(grad_out.shape());
+  const float* px = cached_input_.data();
+  const float* pg = grad_out.data();
+  float* pi = grad_in.data();
+  const std::int64_t n = grad_out.numel();
+  for (std::int64_t i = 0; i < n; ++i) pi[i] = px[i] > 0.0f ? pg[i] : 0.0f;
+  cached_input_ = Tensor();
+  return grad_in;
+}
+
+Tensor LeakyReLU::Forward(const Tensor& x, bool /*training*/) {
+  cached_input_ = x;
+  Tensor y(x.shape());
+  const float* px = x.data();
+  float* py = y.data();
+  const std::int64_t n = x.numel();
+  for (std::int64_t i = 0; i < n; ++i) {
+    py[i] = px[i] > 0.0f ? px[i] : slope_ * px[i];
+  }
+  return y;
+}
+
+Tensor LeakyReLU::Backward(const Tensor& grad_out) {
+  GLSC_CHECK(cached_input_.defined());
+  Tensor grad_in(grad_out.shape());
+  const float* px = cached_input_.data();
+  const float* pg = grad_out.data();
+  float* pi = grad_in.data();
+  const std::int64_t n = grad_out.numel();
+  for (std::int64_t i = 0; i < n; ++i) {
+    pi[i] = px[i] > 0.0f ? pg[i] : slope_ * pg[i];
+  }
+  cached_input_ = Tensor();
+  return grad_in;
+}
+
+Tensor FixedScale::Forward(const Tensor& x, bool /*training*/) {
+  Tensor y(x.shape());
+  const float* px = x.data();
+  float* py = y.data();
+  for (std::int64_t i = 0; i < x.numel(); ++i) py[i] = scale_ * px[i];
+  return y;
+}
+
+Tensor FixedScale::Backward(const Tensor& grad_out) {
+  Tensor g(grad_out.shape());
+  const float* pg = grad_out.data();
+  float* po = g.data();
+  for (std::int64_t i = 0; i < grad_out.numel(); ++i) po[i] = scale_ * pg[i];
+  return g;
+}
+
+Tensor Tanh::Forward(const Tensor& x, bool /*training*/) {
+  Tensor y(x.shape());
+  const float* px = x.data();
+  float* py = y.data();
+  const std::int64_t n = x.numel();
+  for (std::int64_t i = 0; i < n; ++i) py[i] = std::tanh(px[i]);
+  cached_output_ = y;
+  return y;
+}
+
+Tensor Tanh::Backward(const Tensor& grad_out) {
+  GLSC_CHECK(cached_output_.defined());
+  Tensor grad_in(grad_out.shape());
+  const float* py = cached_output_.data();
+  const float* pg = grad_out.data();
+  float* pi = grad_in.data();
+  const std::int64_t n = grad_out.numel();
+  for (std::int64_t i = 0; i < n; ++i) pi[i] = pg[i] * (1.0f - py[i] * py[i]);
+  cached_output_ = Tensor();
+  return grad_in;
+}
+
+}  // namespace glsc::nn

@@ -1,0 +1,66 @@
+// Pointwise activation layers with exact analytic backward passes.
+#pragma once
+
+#include "nn/layer.h"
+
+namespace glsc::nn {
+
+// x * sigmoid(x) — the activation used throughout the diffusion UNet.
+class SiLU : public Layer {
+ public:
+  Tensor Forward(const Tensor& x, bool training) override;
+  Tensor Backward(const Tensor& grad_out) override;
+  std::string Name() const override { return "SiLU"; }
+
+ private:
+  Tensor cached_input_;
+};
+
+class ReLU : public Layer {
+ public:
+  Tensor Forward(const Tensor& x, bool training) override;
+  Tensor Backward(const Tensor& grad_out) override;
+  std::string Name() const override { return "ReLU"; }
+
+ private:
+  Tensor cached_input_;
+};
+
+class LeakyReLU : public Layer {
+ public:
+  explicit LeakyReLU(float slope = 0.01f) : slope_(slope) {}
+  Tensor Forward(const Tensor& x, bool training) override;
+  Tensor Backward(const Tensor& grad_out) override;
+  std::string Name() const override { return "LeakyReLU"; }
+
+ private:
+  float slope_;
+  Tensor cached_input_;
+};
+
+// Multiplies by a fixed constant. Used at the end of the VAE encoder to set
+// the latent magnitude relative to the unit quantization bin: large-scale
+// encoders learn this spread over long schedules; at reproduction scale we
+// build it in and let training adapt around it.
+class FixedScale : public Layer {
+ public:
+  explicit FixedScale(float scale) : scale_(scale) {}
+  Tensor Forward(const Tensor& x, bool training) override;
+  Tensor Backward(const Tensor& grad_out) override;
+  std::string Name() const override { return "FixedScale"; }
+
+ private:
+  float scale_;
+};
+
+class Tanh : public Layer {
+ public:
+  Tensor Forward(const Tensor& x, bool training) override;
+  Tensor Backward(const Tensor& grad_out) override;
+  std::string Name() const override { return "Tanh"; }
+
+ private:
+  Tensor cached_output_;
+};
+
+}  // namespace glsc::nn

@@ -1,0 +1,202 @@
+#include "nn/conv.h"
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "tensor/gemm.h"
+#include "tensor/im2col.h"
+
+namespace glsc::nn {
+
+Conv2d::Conv2d(std::int64_t in_channels, std::int64_t out_channels,
+               std::int64_t kernel, std::int64_t stride, std::int64_t pad,
+               Rng& rng, const std::string& name)
+    : in_c_(in_channels),
+      out_c_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      pad_(pad) {
+  const std::int64_t fan_in = in_channels * kernel * kernel;
+  const float bound = std::sqrt(1.0f / static_cast<float>(fan_in));
+  weight_ = Param(name + ".weight",
+                  Tensor::Uniform({out_c_, fan_in}, rng, -bound, bound));
+  bias_ = Param(name + ".bias", Tensor::Uniform({out_c_}, rng, -bound, bound));
+}
+
+Tensor Conv2d::Forward(const Tensor& x, bool /*training*/) {
+  GLSC_CHECK(x.rank() == 4 && x.dim(1) == in_c_);
+  cached_input_ = x;
+  const std::int64_t batch = x.dim(0);
+  const std::int64_t h = x.dim(2);
+  const std::int64_t w = x.dim(3);
+  const std::int64_t oh = ConvOutDim(h, kernel_, stride_, pad_);
+  const std::int64_t ow = ConvOutDim(w, kernel_, stride_, pad_);
+  GLSC_CHECK_MSG(oh > 0 && ow > 0, "conv output collapsed: in " << h << "x"
+                                                                << w);
+  const std::int64_t col_rows = in_c_ * kernel_ * kernel_;
+  const std::int64_t col_cols = oh * ow;
+
+  Tensor y({batch, out_c_, oh, ow});
+  std::vector<float> columns(static_cast<std::size_t>(col_rows * col_cols));
+  for (std::int64_t b = 0; b < batch; ++b) {
+    Im2Col(x.data() + b * in_c_ * h * w, in_c_, h, w, kernel_, kernel_,
+           stride_, pad_, columns.data());
+    // y_b = W [out_c, col_rows] * columns [col_rows, col_cols]
+    Gemm(false, false, out_c_, col_cols, col_rows, 1.0f, weight_.value.data(),
+         col_rows, columns.data(), col_cols, 0.0f,
+         y.data() + b * out_c_ * col_cols, col_cols);
+    float* py = y.data() + b * out_c_ * col_cols;
+    const float* pb = bias_.value.data();
+    for (std::int64_t c = 0; c < out_c_; ++c) {
+      for (std::int64_t i = 0; i < col_cols; ++i) py[c * col_cols + i] += pb[c];
+    }
+  }
+  return y;
+}
+
+Tensor Conv2d::Backward(const Tensor& grad_out) {
+  GLSC_CHECK(cached_input_.defined());
+  const Tensor& x = cached_input_;
+  const std::int64_t batch = x.dim(0);
+  const std::int64_t h = x.dim(2);
+  const std::int64_t w = x.dim(3);
+  const std::int64_t oh = grad_out.dim(2);
+  const std::int64_t ow = grad_out.dim(3);
+  const std::int64_t col_rows = in_c_ * kernel_ * kernel_;
+  const std::int64_t col_cols = oh * ow;
+
+  Tensor grad_in(x.shape());
+  std::vector<float> columns(static_cast<std::size_t>(col_rows * col_cols));
+  std::vector<float> grad_cols(static_cast<std::size_t>(col_rows * col_cols));
+
+  for (std::int64_t b = 0; b < batch; ++b) {
+    const float* g_b = grad_out.data() + b * out_c_ * col_cols;
+
+    // dW += g_b [out_c, cols] * columns^T [cols, col_rows]
+    Im2Col(x.data() + b * in_c_ * h * w, in_c_, h, w, kernel_, kernel_,
+           stride_, pad_, columns.data());
+    Gemm(false, true, out_c_, col_rows, col_cols, 1.0f, g_b, col_cols,
+         columns.data(), col_cols, 1.0f, weight_.grad.data(), col_rows);
+
+    // db += sum over spatial of g_b
+    float* gb = bias_.grad.data();
+    for (std::int64_t c = 0; c < out_c_; ++c) {
+      double s = 0.0;
+      for (std::int64_t i = 0; i < col_cols; ++i) s += g_b[c * col_cols + i];
+      gb[c] += static_cast<float>(s);
+    }
+
+    // dcolumns = W^T [col_rows, out_c] * g_b [out_c, cols]; scatter to input.
+    Gemm(true, false, col_rows, col_cols, out_c_, 1.0f, weight_.value.data(),
+         col_rows, g_b, col_cols, 0.0f, grad_cols.data(), col_cols);
+    std::memset(grad_in.data() + b * in_c_ * h * w, 0,
+                static_cast<std::size_t>(in_c_ * h * w) * sizeof(float));
+    Col2Im(grad_cols.data(), in_c_, h, w, kernel_, kernel_, stride_, pad_,
+           grad_in.data() + b * in_c_ * h * w);
+  }
+  cached_input_ = Tensor();
+  return grad_in;
+}
+
+std::vector<Param*> Conv2d::Params() { return {&weight_, &bias_}; }
+
+Tensor NearestUpsample2x::Forward(const Tensor& x, bool /*training*/) {
+  GLSC_CHECK(x.rank() == 4);
+  cached_in_shape_ = x.shape();
+  const std::int64_t bc = x.dim(0) * x.dim(1);
+  const std::int64_t h = x.dim(2);
+  const std::int64_t w = x.dim(3);
+  Tensor y({x.dim(0), x.dim(1), 2 * h, 2 * w});
+  const float* src = x.data();
+  float* dst = y.data();
+  for (std::int64_t p = 0; p < bc; ++p) {
+    const float* sp = src + p * h * w;
+    float* dp = dst + p * 4 * h * w;
+    for (std::int64_t i = 0; i < h; ++i) {
+      for (std::int64_t j = 0; j < w; ++j) {
+        const float v = sp[i * w + j];
+        float* cell = dp + (2 * i) * (2 * w) + 2 * j;
+        cell[0] = v;
+        cell[1] = v;
+        cell[2 * w] = v;
+        cell[2 * w + 1] = v;
+      }
+    }
+  }
+  return y;
+}
+
+Tensor NearestUpsample2x::Backward(const Tensor& grad_out) {
+  GLSC_CHECK(!cached_in_shape_.empty());
+  const std::int64_t bc = cached_in_shape_[0] * cached_in_shape_[1];
+  const std::int64_t h = cached_in_shape_[2];
+  const std::int64_t w = cached_in_shape_[3];
+  Tensor grad_in(cached_in_shape_);
+  const float* g = grad_out.data();
+  float* gi = grad_in.data();
+  for (std::int64_t p = 0; p < bc; ++p) {
+    const float* gp = g + p * 4 * h * w;
+    float* ip = gi + p * h * w;
+    for (std::int64_t i = 0; i < h; ++i) {
+      for (std::int64_t j = 0; j < w; ++j) {
+        const float* cell = gp + (2 * i) * (2 * w) + 2 * j;
+        ip[i * w + j] = cell[0] + cell[1] + cell[2 * w] + cell[2 * w + 1];
+      }
+    }
+  }
+  cached_in_shape_.clear();
+  return grad_in;
+}
+
+Tensor AvgPool2x::Forward(const Tensor& x, bool /*training*/) {
+  GLSC_CHECK(x.rank() == 4);
+  GLSC_CHECK(x.dim(2) % 2 == 0 && x.dim(3) % 2 == 0);
+  cached_in_shape_ = x.shape();
+  const std::int64_t bc = x.dim(0) * x.dim(1);
+  const std::int64_t h = x.dim(2);
+  const std::int64_t w = x.dim(3);
+  Tensor y({x.dim(0), x.dim(1), h / 2, w / 2});
+  const float* src = x.data();
+  float* dst = y.data();
+  for (std::int64_t p = 0; p < bc; ++p) {
+    const float* sp = src + p * h * w;
+    float* dp = dst + p * (h / 2) * (w / 2);
+    for (std::int64_t i = 0; i < h / 2; ++i) {
+      for (std::int64_t j = 0; j < w / 2; ++j) {
+        const float* cell = sp + (2 * i) * w + 2 * j;
+        dp[i * (w / 2) + j] =
+            0.25f * (cell[0] + cell[1] + cell[w] + cell[w + 1]);
+      }
+    }
+  }
+  return y;
+}
+
+Tensor AvgPool2x::Backward(const Tensor& grad_out) {
+  GLSC_CHECK(!cached_in_shape_.empty());
+  const std::int64_t bc = cached_in_shape_[0] * cached_in_shape_[1];
+  const std::int64_t h = cached_in_shape_[2];
+  const std::int64_t w = cached_in_shape_[3];
+  Tensor grad_in(cached_in_shape_);
+  const float* g = grad_out.data();
+  float* gi = grad_in.data();
+  for (std::int64_t p = 0; p < bc; ++p) {
+    const float* gp = g + p * (h / 2) * (w / 2);
+    float* ip = gi + p * h * w;
+    for (std::int64_t i = 0; i < h / 2; ++i) {
+      for (std::int64_t j = 0; j < w / 2; ++j) {
+        const float v = 0.25f * gp[i * (w / 2) + j];
+        float* cell = ip + (2 * i) * w + 2 * j;
+        cell[0] = v;
+        cell[1] = v;
+        cell[w] = v;
+        cell[w + 1] = v;
+      }
+    }
+  }
+  cached_in_shape_.clear();
+  return grad_in;
+}
+
+}  // namespace glsc::nn

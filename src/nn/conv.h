@@ -1,0 +1,57 @@
+// 2D convolution layers in NCHW layout, lowered to GEMM via im2col.
+// Downsampling uses stride-2 convolutions; upsampling uses nearest-neighbour
+// 2x upsample followed by a convolution (checkerboard-free and with a much
+// simpler backward pass than transposed convolution).
+#pragma once
+
+#include "nn/layer.h"
+
+namespace glsc::nn {
+
+class Conv2d : public Layer {
+ public:
+  Conv2d(std::int64_t in_channels, std::int64_t out_channels,
+         std::int64_t kernel, std::int64_t stride, std::int64_t pad, Rng& rng,
+         const std::string& name = "conv");
+
+  // x: [B, C_in, H, W] -> [B, C_out, OH, OW]
+  Tensor Forward(const Tensor& x, bool training) override;
+  Tensor Backward(const Tensor& grad_out) override;
+  std::vector<Param*> Params() override;
+  std::string Name() const override { return "Conv2d"; }
+
+  std::int64_t in_channels() const { return in_c_; }
+  std::int64_t out_channels() const { return out_c_; }
+
+ private:
+  std::int64_t in_c_, out_c_, kernel_, stride_, pad_;
+  Param weight_;  // [out_c, in_c * k * k]
+  Param bias_;    // [out_c]
+  Tensor cached_input_;
+};
+
+// Nearest-neighbour 2x spatial upsampling. Backward is a 2x2 sum-pool of the
+// incoming gradient.
+class NearestUpsample2x : public Layer {
+ public:
+  Tensor Forward(const Tensor& x, bool training) override;
+  Tensor Backward(const Tensor& grad_out) override;
+  std::string Name() const override { return "NearestUpsample2x"; }
+
+ private:
+  Shape cached_in_shape_;
+};
+
+// 2x2 average pooling (stride 2); used by the VAE-SR baseline's
+// low-resolution branch.
+class AvgPool2x : public Layer {
+ public:
+  Tensor Forward(const Tensor& x, bool training) override;
+  Tensor Backward(const Tensor& grad_out) override;
+  std::string Name() const override { return "AvgPool2x"; }
+
+ private:
+  Shape cached_in_shape_;
+};
+
+}  // namespace glsc::nn

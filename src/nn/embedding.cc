@@ -1,0 +1,33 @@
+#include "nn/embedding.h"
+#include <algorithm>
+
+#include <cmath>
+
+namespace glsc::nn {
+
+Tensor SinusoidalTimeEmbedding(std::int64_t timestep, std::int64_t dim) {
+  GLSC_CHECK(dim % 2 == 0);
+  Tensor emb({dim});
+  const std::int64_t half = dim / 2;
+  // Frequencies follow the standard 1e4^(-i/half) spacing.
+  for (std::int64_t i = 0; i < half; ++i) {
+    const double freq =
+        std::exp(-std::log(10000.0) * static_cast<double>(i) / half);
+    const double angle = static_cast<double>(timestep) * freq;
+    emb[i] = static_cast<float>(std::sin(angle));
+    emb[half + i] = static_cast<float>(std::cos(angle));
+  }
+  return emb;
+}
+
+Tensor SinusoidalTimeEmbeddingBatch(const std::vector<std::int64_t>& timesteps,
+                                    std::int64_t dim) {
+  Tensor out({static_cast<std::int64_t>(timesteps.size()), dim});
+  for (std::size_t i = 0; i < timesteps.size(); ++i) {
+    const Tensor e = SinusoidalTimeEmbedding(timesteps[i], dim);
+    std::copy_n(e.data(), dim, out.data() + static_cast<std::int64_t>(i) * dim);
+  }
+  return out;
+}
+
+}  // namespace glsc::nn

@@ -1,0 +1,17 @@
+// Sinusoidal timestep embeddings (Transformer-style), used to tell the
+// denoising UNet which diffusion step it is operating at.
+#pragma once
+
+#include "tensor/tensor.h"
+
+namespace glsc::nn {
+
+// Returns a [dim] embedding for a single integer timestep:
+// half sine, half cosine over log-spaced frequencies.
+Tensor SinusoidalTimeEmbedding(std::int64_t timestep, std::int64_t dim);
+
+// Batched version: [count] timesteps -> [count, dim].
+Tensor SinusoidalTimeEmbeddingBatch(const std::vector<std::int64_t>& timesteps,
+                                    std::int64_t dim);
+
+}  // namespace glsc::nn

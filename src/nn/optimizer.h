@@ -1,0 +1,59 @@
+// First-order optimizers over flat parameter lists.
+#pragma once
+
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace glsc::nn {
+
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Param*> params) : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  virtual void Step() = 0;
+
+  void ZeroGrad() {
+    for (Param* p : params_) p->ZeroGrad();
+  }
+
+  // Rescales all gradients so their global L2 norm is at most `max_norm`.
+  // Returns the pre-clip norm. Diffusion training uses this to survive the
+  // occasional high-noise sample.
+  double ClipGradNorm(double max_norm);
+
+ protected:
+  std::vector<Param*> params_;
+};
+
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Param*> params, float lr, float momentum = 0.0f);
+  void Step() override;
+
+  void set_lr(float lr) { lr_ = lr; }
+
+ private:
+  float lr_;
+  float momentum_;
+  std::vector<Tensor> velocity_;
+};
+
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Param*> params, float lr, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f);
+  void Step() override;
+
+  void set_lr(float lr) { lr_ = lr; }
+  float lr() const { return lr_; }
+
+ private:
+  float lr_, beta1_, beta2_, eps_;
+  std::int64_t t_ = 0;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+};
+
+}  // namespace glsc::nn

@@ -1,0 +1,70 @@
+// PCA-based error-bound guarantee module (§3.5, following Lee et al.).
+//
+// Offline, a PCA basis U is fit to reconstruction residuals of the training
+// split (8x8 spatial blocks by default); U is part of the model artifact, not
+// of any compressed payload. Online, the residual r = x - x_R of a frame is
+// tiled into blocks, projected onto U, and the largest-magnitude coefficients
+// are quantized and kept — greedily, accounting for quantization error —
+// until ||x - x_G||_2 <= tau. The selected (index, value) pairs are entropy
+// coded; their bytes are the "G" term of the effective compression ratio
+// (Eq. 11).
+//
+// The guarantee is exact, not statistical: selection works on the true
+// residual energy ||r||^2 - sum(kept c_i^2) + sum(quantization errors), and a
+// final verification pass recomputes the corrected residual.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "util/bytes.h"
+
+namespace glsc::postprocess {
+
+struct PcaConfig {
+  std::int64_t block = 8;  // spatial block edge; D = block^2 basis dimension
+};
+
+class ResidualPca {
+ public:
+  explicit ResidualPca(const PcaConfig& config = {});
+
+  // Fits the basis from residual example frames [H, W] (H, W divisible by
+  // block). Uses the dense covariance + cyclic Jacobi eigensolver.
+  void Fit(const std::vector<Tensor>& residual_frames);
+
+  bool fitted() const { return !basis_.empty(); }
+  std::int64_t dimension() const { return config_.block * config_.block; }
+
+  struct Correction {
+    std::vector<std::uint8_t> payload;  // bytes counted as G in Eq. 11
+    double l2_before = 0.0;
+    double l2_after = 0.0;
+    std::int64_t coefficients = 0;
+  };
+
+  // Corrects `reconstruction` in place toward `original` until the frame's
+  // L2 error is <= tau. Both tensors are [H, W] with dims divisible by block.
+  Correction Correct(const Tensor& original, Tensor* reconstruction,
+                     double tau) const;
+
+  // Decoder side: applies an encoded correction payload.
+  void Apply(const std::vector<std::uint8_t>& payload,
+             Tensor* reconstruction) const;
+
+  // Basis (de)serialization for the model artifact cache.
+  void Save(ByteWriter* out) const;
+  void Load(ByteReader* in);
+
+ private:
+  // Projects block b of `field` onto the basis: c = U^T r_b.
+  void ProjectBlock(const Tensor& field, std::int64_t by, std::int64_t bx,
+                    std::vector<double>* coeffs) const;
+
+  PcaConfig config_;
+  // Row-major [D, D]; column j is the j-th principal direction.
+  std::vector<double> basis_;
+};
+
+}  // namespace glsc::postprocess

@@ -1,0 +1,152 @@
+#include "tensor/gemm.h"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "util/check.h"
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace glsc {
+namespace {
+
+// Cache-blocking parameters. The micro-kernel works on MR x NR tiles of C with
+// the K loop innermost over packed panels; sizes are chosen so an MC x KC
+// panel of A (~128 KiB) stays L2-resident.
+constexpr std::int64_t kMC = 128;
+constexpr std::int64_t kKC = 256;
+constexpr std::int64_t kNC = 512;
+constexpr std::int64_t kMR = 4;
+constexpr std::int64_t kNR = 8;
+
+// Packs a row-major (possibly transposed) block of A into column-panel order:
+// consecutive kMR-row strips, each strip laid out K-major.
+void PackA(bool trans, const float* a, std::int64_t lda, std::int64_t row0,
+           std::int64_t m, std::int64_t k0, std::int64_t k, float* packed) {
+  for (std::int64_t i = 0; i < m; i += kMR) {
+    const std::int64_t ib = std::min(kMR, m - i);
+    for (std::int64_t p = 0; p < k; ++p) {
+      for (std::int64_t ii = 0; ii < kMR; ++ii) {
+        float v = 0.0f;
+        if (ii < ib) {
+          const std::int64_t r = row0 + i + ii;
+          const std::int64_t c = k0 + p;
+          v = trans ? a[c * lda + r] : a[r * lda + c];
+        }
+        *packed++ = v;
+      }
+    }
+  }
+}
+
+// Packs a block of B into row-panel order: consecutive kNR-column strips.
+void PackB(bool trans, const float* b, std::int64_t ldb, std::int64_t k0,
+           std::int64_t k, std::int64_t col0, std::int64_t n, float* packed) {
+  for (std::int64_t j = 0; j < n; j += kNR) {
+    const std::int64_t jb = std::min(kNR, n - j);
+    for (std::int64_t p = 0; p < k; ++p) {
+      for (std::int64_t jj = 0; jj < kNR; ++jj) {
+        float v = 0.0f;
+        if (jj < jb) {
+          const std::int64_t r = k0 + p;
+          const std::int64_t c = col0 + j + jj;
+          v = trans ? b[c * ldb + r] : b[r * ldb + c];
+        }
+        *packed++ = v;
+      }
+    }
+  }
+}
+
+// kMR x kNR register-tile micro-kernel over a length-k inner product.
+inline void MicroKernel(std::int64_t k, const float* a_panel,
+                        const float* b_panel, float acc[kMR][kNR]) {
+  for (std::int64_t p = 0; p < k; ++p) {
+    const float* arow = a_panel + p * kMR;
+    const float* brow = b_panel + p * kNR;
+    for (std::int64_t i = 0; i < kMR; ++i) {
+      const float av = arow[i];
+      for (std::int64_t j = 0; j < kNR; ++j) {
+        acc[i][j] += av * brow[j];
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void Gemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
+          std::int64_t k, float alpha, const float* a, std::int64_t lda,
+          const float* b, std::int64_t ldb, float beta, float* c,
+          std::int64_t ldc) {
+  GLSC_CHECK(m >= 0 && n >= 0 && k >= 0);
+  if (m == 0 || n == 0) return;
+
+  // Scale C by beta once, up front.
+  if (beta == 0.0f) {
+    for (std::int64_t i = 0; i < m; ++i) {
+      std::memset(c + i * ldc, 0, static_cast<std::size_t>(n) * sizeof(float));
+    }
+  } else if (beta != 1.0f) {
+    for (std::int64_t i = 0; i < m; ++i) {
+      for (std::int64_t j = 0; j < n; ++j) c[i * ldc + j] *= beta;
+    }
+  }
+  if (k == 0 || alpha == 0.0f) return;
+
+  const std::int64_t mc_panels = (m + kMC - 1) / kMC;
+
+#ifdef _OPENMP
+#pragma omp parallel
+#endif
+  {
+    // Per-thread packing buffers; padded to full micro-tiles.
+    std::vector<float> packed_a(static_cast<std::size_t>(
+        ((kMC + kMR - 1) / kMR) * kMR * kKC));
+    std::vector<float> packed_b(static_cast<std::size_t>(
+        ((kNC + kNR - 1) / kNR) * kNR * kKC));
+
+#ifdef _OPENMP
+#pragma omp for schedule(dynamic, 1)
+#endif
+    for (std::int64_t mp = 0; mp < mc_panels; ++mp) {
+      const std::int64_t i0 = mp * kMC;
+      const std::int64_t mb = std::min(kMC, m - i0);
+      for (std::int64_t p0 = 0; p0 < k; p0 += kKC) {
+        const std::int64_t kb = std::min(kKC, k - p0);
+        PackA(trans_a, a, lda, i0, mb, p0, kb, packed_a.data());
+        for (std::int64_t j0 = 0; j0 < n; j0 += kNC) {
+          const std::int64_t nb = std::min(kNC, n - j0);
+          PackB(trans_b, b, ldb, p0, kb, j0, nb, packed_b.data());
+
+          for (std::int64_t i = 0; i < mb; i += kMR) {
+            const std::int64_t ib = std::min(kMR, mb - i);
+            const float* a_panel = packed_a.data() + (i / kMR) * kb * kMR;
+            for (std::int64_t j = 0; j < nb; j += kNR) {
+              const std::int64_t jb = std::min(kNR, nb - j);
+              const float* b_panel = packed_b.data() + (j / kNR) * kb * kNR;
+              float acc[kMR][kNR] = {};
+              MicroKernel(kb, a_panel, b_panel, acc);
+              for (std::int64_t ii = 0; ii < ib; ++ii) {
+                float* crow = c + (i0 + i + ii) * ldc + j0 + j;
+                for (std::int64_t jj = 0; jj < jb; ++jj) {
+                  crow[jj] += alpha * acc[ii][jj];
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void MatMul(const float* a, const float* b, float* c, std::int64_t m,
+            std::int64_t n, std::int64_t k) {
+  Gemm(false, false, m, n, k, 1.0f, a, k, b, n, 0.0f, c, n);
+}
+
+}  // namespace glsc

@@ -1,0 +1,21 @@
+// Single-precision general matrix multiply. Every convolution and attention
+// layer in the network lowers to this kernel (via im2col or reshapes), so it
+// is the performance backbone of both training and the Table-2 speed bench.
+#pragma once
+
+#include <cstdint>
+
+namespace glsc {
+
+// C = alpha * op(A) * op(B) + beta * C, row-major.
+// op(A) is MxK, op(B) is KxN, C is MxN with leading dimensions lda/ldb/ldc.
+void Gemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
+          std::int64_t k, float alpha, const float* a, std::int64_t lda,
+          const float* b, std::int64_t ldb, float beta, float* c,
+          std::int64_t ldc);
+
+// Convenience: C(MxN) = A(MxK) * B(KxN), contiguous row-major, overwrite C.
+void MatMul(const float* a, const float* b, float* c, std::int64_t m,
+            std::int64_t n, std::int64_t k);
+
+}  // namespace glsc

@@ -1,0 +1,58 @@
+#include "tensor/im2col.h"
+
+namespace glsc {
+
+void Im2Col(const float* input, std::int64_t channels, std::int64_t height,
+            std::int64_t width, std::int64_t kh, std::int64_t kw,
+            std::int64_t stride, std::int64_t pad, float* columns) {
+  const std::int64_t oh = ConvOutDim(height, kh, stride, pad);
+  const std::int64_t ow = ConvOutDim(width, kw, stride, pad);
+  // Row index of `columns` is (c, ki, kj); column index is (oy, ox).
+  for (std::int64_t c = 0; c < channels; ++c) {
+    const float* in_c = input + c * height * width;
+    for (std::int64_t ki = 0; ki < kh; ++ki) {
+      for (std::int64_t kj = 0; kj < kw; ++kj) {
+        float* out_row = columns + ((c * kh + ki) * kw + kj) * oh * ow;
+        for (std::int64_t oy = 0; oy < oh; ++oy) {
+          const std::int64_t iy = oy * stride - pad + ki;
+          if (iy < 0 || iy >= height) {
+            for (std::int64_t ox = 0; ox < ow; ++ox) out_row[oy * ow + ox] = 0.0f;
+            continue;
+          }
+          const float* in_row = in_c + iy * width;
+          for (std::int64_t ox = 0; ox < ow; ++ox) {
+            const std::int64_t ix = ox * stride - pad + kj;
+            out_row[oy * ow + ox] =
+                (ix >= 0 && ix < width) ? in_row[ix] : 0.0f;
+          }
+        }
+      }
+    }
+  }
+}
+
+void Col2Im(const float* columns, std::int64_t channels, std::int64_t height,
+            std::int64_t width, std::int64_t kh, std::int64_t kw,
+            std::int64_t stride, std::int64_t pad, float* input) {
+  const std::int64_t oh = ConvOutDim(height, kh, stride, pad);
+  const std::int64_t ow = ConvOutDim(width, kw, stride, pad);
+  for (std::int64_t c = 0; c < channels; ++c) {
+    float* in_c = input + c * height * width;
+    for (std::int64_t ki = 0; ki < kh; ++ki) {
+      for (std::int64_t kj = 0; kj < kw; ++kj) {
+        const float* col_row = columns + ((c * kh + ki) * kw + kj) * oh * ow;
+        for (std::int64_t oy = 0; oy < oh; ++oy) {
+          const std::int64_t iy = oy * stride - pad + ki;
+          if (iy < 0 || iy >= height) continue;
+          float* in_row = in_c + iy * width;
+          for (std::int64_t ox = 0; ox < ow; ++ox) {
+            const std::int64_t ix = ox * stride - pad + kj;
+            if (ix >= 0 && ix < width) in_row[ix] += col_row[oy * ow + ox];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace glsc

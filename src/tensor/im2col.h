@@ -1,0 +1,27 @@
+// im2col / col2im lowering for 2D convolutions (NCHW layout). Convolution
+// forward becomes one GEMM per batch element; the backward data pass uses
+// col2im to scatter-add gradients back to input positions.
+#pragma once
+
+#include <cstdint>
+
+namespace glsc {
+
+// Expands input[C, H, W] into columns[C*KH*KW, OH*OW] for a convolution with
+// the given stride and symmetric zero padding.
+void Im2Col(const float* input, std::int64_t channels, std::int64_t height,
+            std::int64_t width, std::int64_t kh, std::int64_t kw,
+            std::int64_t stride, std::int64_t pad, float* columns);
+
+// Inverse scatter-add of Im2Col: accumulates columns back into input layout.
+// `input` must be zero-initialized by the caller.
+void Col2Im(const float* columns, std::int64_t channels, std::int64_t height,
+            std::int64_t width, std::int64_t kh, std::int64_t kw,
+            std::int64_t stride, std::int64_t pad, float* input);
+
+inline std::int64_t ConvOutDim(std::int64_t in, std::int64_t kernel,
+                               std::int64_t stride, std::int64_t pad) {
+  return (in + 2 * pad - kernel) / stride + 1;
+}
+
+}  // namespace glsc

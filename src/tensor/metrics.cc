@@ -1,0 +1,37 @@
+#include "tensor/metrics.h"
+
+#include <cmath>
+
+#include "tensor/ops.h"
+
+namespace glsc {
+
+double Nrmse(const Tensor& original, const Tensor& reconstructed) {
+  GLSC_CHECK(original.shape() == reconstructed.shape());
+  const double mse = MeanSquaredError(original, reconstructed);
+  const double range =
+      static_cast<double>(original.MaxValue()) - original.MinValue();
+  if (range <= 0.0) return std::sqrt(mse);  // constant field: report RMSE
+  return std::sqrt(mse) / range;
+}
+
+double Psnr(const Tensor& original, const Tensor& reconstructed) {
+  const double mse = MeanSquaredError(original, reconstructed);
+  const double range =
+      static_cast<double>(original.MaxValue()) - original.MinValue();
+  if (mse <= 0.0) return 200.0;  // identical: clamp at a large finite value
+  return 20.0 * std::log10(range) - 10.0 * std::log10(mse);
+}
+
+double MaxAbsError(const Tensor& a, const Tensor& b) {
+  GLSC_CHECK(a.shape() == b.shape());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  double m = 0.0;
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    m = std::max(m, std::fabs(static_cast<double>(pa[i]) - pb[i]));
+  }
+  return m;
+}
+
+}  // namespace glsc

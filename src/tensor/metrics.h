@@ -1,0 +1,28 @@
+// Reconstruction-quality metrics used throughout the evaluation. NRMSE is the
+// paper's primary criterion (Eq. 12): RMSE normalized by the data range of the
+// ORIGINAL field.
+#pragma once
+
+#include "tensor/tensor.h"
+
+namespace glsc {
+
+// Eq. (12): sqrt(||a-b||^2 / N) / (max(a) - min(a)).
+double Nrmse(const Tensor& original, const Tensor& reconstructed);
+
+// Peak signal-to-noise ratio in dB against the original's range.
+double Psnr(const Tensor& original, const Tensor& reconstructed);
+
+double MaxAbsError(const Tensor& a, const Tensor& b);
+
+// Effective compression ratio per Eq. (11).
+inline double CompressionRatio(std::size_t original_bytes,
+                               std::size_t latent_bytes,
+                               std::size_t guarantee_bytes) {
+  const std::size_t denom = latent_bytes + guarantee_bytes;
+  return denom == 0 ? 0.0
+                    : static_cast<double>(original_bytes) /
+                          static_cast<double>(denom);
+}
+
+}  // namespace glsc

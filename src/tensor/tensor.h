@@ -1,0 +1,108 @@
+// Dense row-major float32 ND tensor. This is the numeric substrate for the
+// whole repository: the VAE, the diffusion UNet, the baselines and the PCA
+// post-processor all operate on `Tensor`.
+//
+// Design notes
+//  - Always contiguous and owning. Layers cache activations by value; an
+//    explicit-backward engine does not need views or strides, and contiguity
+//    keeps every kernel a flat loop the compiler can vectorize.
+//  - Copy is cheap-ish (shared_ptr to storage) but WRITES are not
+//    copy-on-write: use Clone() before mutating a tensor that may be aliased.
+//    All library code follows the convention that functions returning Tensor
+//    return freshly-allocated storage.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace glsc {
+
+using Shape = std::vector<std::int64_t>;
+
+std::string ShapeToString(const Shape& shape);
+std::int64_t ShapeNumel(const Shape& shape);
+
+class Tensor {
+ public:
+  Tensor() = default;
+
+  explicit Tensor(Shape shape)
+      : shape_(std::move(shape)),
+        data_(std::make_shared<std::vector<float>>(
+            static_cast<std::size_t>(ShapeNumel(shape_)), 0.0f)) {}
+
+  Tensor(Shape shape, std::vector<float> values)
+      : shape_(std::move(shape)),
+        data_(std::make_shared<std::vector<float>>(std::move(values))) {
+    GLSC_CHECK_MSG(static_cast<std::int64_t>(data_->size()) ==
+                       ShapeNumel(shape_),
+                   "value count " << data_->size() << " != numel of "
+                                  << ShapeToString(shape_));
+  }
+
+  static Tensor Zeros(Shape shape) { return Tensor(std::move(shape)); }
+  static Tensor Full(Shape shape, float value);
+  static Tensor Randn(Shape shape, Rng& rng, float stddev = 1.0f);
+  static Tensor Uniform(Shape shape, Rng& rng, float lo, float hi);
+  // 1D ramp [0, n), useful in tests.
+  static Tensor Arange(std::int64_t n);
+
+  bool defined() const { return data_ != nullptr; }
+  const Shape& shape() const { return shape_; }
+  std::int64_t dim(std::size_t i) const {
+    GLSC_DCHECK(i < shape_.size());
+    return shape_[i];
+  }
+  std::size_t rank() const { return shape_.size(); }
+  std::int64_t numel() const { return ShapeNumel(shape_); }
+
+  float* data() { return data_->data(); }
+  const float* data() const { return data_->data(); }
+
+  float& operator[](std::int64_t i) { return (*data_)[static_cast<std::size_t>(i)]; }
+  float operator[](std::int64_t i) const {
+    return (*data_)[static_cast<std::size_t>(i)];
+  }
+
+  // Multi-index access (rank-checked in debug builds); for tests and
+  // non-hot-path code.
+  float& At(std::initializer_list<std::int64_t> idx);
+  float At(std::initializer_list<std::int64_t> idx) const;
+
+  // Deep copy.
+  Tensor Clone() const;
+
+  // Same storage, new shape (numel must match).
+  Tensor Reshape(Shape shape) const;
+
+  // Structural helpers (all allocate fresh storage).
+  // Permute for rank<=5 tensors; perm is a permutation of axis indices.
+  Tensor Permute(const std::vector<int>& perm) const;
+  // Slice along axis 0: rows [begin, end).
+  Tensor Slice0(std::int64_t begin, std::int64_t end) const;
+
+  void Fill(float value);
+  void Zero() { Fill(0.0f); }
+
+  // Scalar statistics (full reduction).
+  float MinValue() const;
+  float MaxValue() const;
+  double Sum() const;
+  double Mean() const;
+  bool AllFinite() const;
+
+ private:
+  Shape shape_;
+  std::shared_ptr<std::vector<float>> data_;
+};
+
+// Concatenate along axis 0. All inputs must agree on trailing dims.
+Tensor Concat0(const std::vector<Tensor>& parts);
+
+}  // namespace glsc

@@ -1,0 +1,36 @@
+#include "util/bytes.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace glsc {
+
+bool ReadFileBytes(const std::string& path, std::vector<std::uint8_t>* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  in.seekg(0, std::ios::end);
+  const auto size = static_cast<std::size_t>(in.tellg());
+  in.seekg(0, std::ios::beg);
+  out->resize(size);
+  in.read(reinterpret_cast<char*>(out->data()),
+          static_cast<std::streamsize>(size));
+  return static_cast<bool>(in);
+}
+
+void WriteFileBytes(const std::string& path,
+                    const std::vector<std::uint8_t>& bytes) {
+  const auto parent = std::filesystem::path(path).parent_path();
+  if (!parent.empty()) std::filesystem::create_directories(parent);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  GLSC_CHECK_MSG(static_cast<bool>(out), "cannot open " << path);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  GLSC_CHECK_MSG(static_cast<bool>(out), "short write to " << path);
+}
+
+bool FileExists(const std::string& path) {
+  return std::filesystem::exists(path);
+}
+
+}  // namespace glsc

@@ -1,0 +1,181 @@
+// Byte-level serialization primitives. Every compressed artifact in this
+// repository (latent bitstreams, PCA corrections, model checkpoints) is built
+// from these little-endian writers/readers so that compressed sizes reported
+// by benchmarks are real byte counts, not estimates.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+
+namespace glsc {
+
+class ByteWriter {
+ public:
+  void PutU8(std::uint8_t v) { buf_.push_back(v); }
+
+  void PutU16(std::uint16_t v) { PutLE(v); }
+  void PutU32(std::uint32_t v) { PutLE(v); }
+  void PutU64(std::uint64_t v) { PutLE(v); }
+
+  void PutI32(std::int32_t v) { PutLE(static_cast<std::uint32_t>(v)); }
+  void PutI64(std::int64_t v) { PutLE(static_cast<std::uint64_t>(v)); }
+
+  void PutF32(float v) {
+    std::uint32_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    PutLE(bits);
+  }
+
+  void PutF64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    PutLE(bits);
+  }
+
+  // LEB128 variable-length unsigned integer; compact for small counts.
+  void PutVarU64(std::uint64_t v) {
+    while (v >= 0x80) {
+      buf_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    buf_.push_back(static_cast<std::uint8_t>(v));
+  }
+
+  // Zig-zag signed varint.
+  void PutVarI64(std::int64_t v) {
+    PutVarU64((static_cast<std::uint64_t>(v) << 1) ^
+              static_cast<std::uint64_t>(v >> 63));
+  }
+
+  void PutBytes(const void* data, std::size_t n) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    buf_.insert(buf_.end(), p, p + n);
+  }
+
+  void PutString(const std::string& s) {
+    PutVarU64(s.size());
+    PutBytes(s.data(), s.size());
+  }
+
+  void PutF32Span(const float* data, std::size_t n) {
+    PutVarU64(n);
+    for (std::size_t i = 0; i < n; ++i) PutF32(data[i]);
+  }
+
+  std::size_t size() const { return buf_.size(); }
+  const std::vector<std::uint8_t>& bytes() const { return buf_; }
+  std::vector<std::uint8_t> Release() { return std::move(buf_); }
+
+ private:
+  template <typename T>
+  void PutLE(T v) {
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  std::vector<std::uint8_t> buf_;
+};
+
+class ByteReader {
+ public:
+  ByteReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+  explicit ByteReader(const std::vector<std::uint8_t>& buf)
+      : ByteReader(buf.data(), buf.size()) {}
+
+  std::uint8_t GetU8() {
+    GLSC_CHECK_MSG(pos_ < size_, "bitstream underrun");
+    return data_[pos_++];
+  }
+
+  std::uint16_t GetU16() { return GetLE<std::uint16_t>(); }
+  std::uint32_t GetU32() { return GetLE<std::uint32_t>(); }
+  std::uint64_t GetU64() { return GetLE<std::uint64_t>(); }
+  std::int32_t GetI32() { return static_cast<std::int32_t>(GetU32()); }
+  std::int64_t GetI64() { return static_cast<std::int64_t>(GetU64()); }
+
+  float GetF32() {
+    const std::uint32_t bits = GetU32();
+    float v;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+  }
+
+  double GetF64() {
+    const std::uint64_t bits = GetU64();
+    double v;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+  }
+
+  std::uint64_t GetVarU64() {
+    std::uint64_t v = 0;
+    int shift = 0;
+    while (true) {
+      const std::uint8_t b = GetU8();
+      v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+      if ((b & 0x80) == 0) break;
+      shift += 7;
+      GLSC_CHECK_MSG(shift < 64, "varint overlong");
+    }
+    return v;
+  }
+
+  std::int64_t GetVarI64() {
+    const std::uint64_t u = GetVarU64();
+    return static_cast<std::int64_t>((u >> 1) ^ (~(u & 1) + 1));
+  }
+
+  void GetBytes(void* out, std::size_t n) {
+    GLSC_CHECK_MSG(pos_ + n <= size_, "bitstream underrun");
+    std::memcpy(out, data_ + pos_, n);
+    pos_ += n;
+  }
+
+  std::string GetString() {
+    const std::size_t n = GetVarU64();
+    std::string s(n, '\0');
+    GetBytes(s.data(), n);
+    return s;
+  }
+
+  std::vector<float> GetF32Span() {
+    const std::size_t n = GetVarU64();
+    std::vector<float> v(n);
+    for (auto& x : v) x = GetF32();
+    return v;
+  }
+
+  std::size_t pos() const { return pos_; }
+  std::size_t remaining() const { return size_ - pos_; }
+  bool AtEnd() const { return pos_ == size_; }
+
+ private:
+  template <typename T>
+  T GetLE() {
+    GLSC_CHECK_MSG(pos_ + sizeof(T) <= size_, "bitstream underrun");
+    T v = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      v |= static_cast<T>(data_[pos_ + i]) << (8 * i);
+    }
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+// Whole-file helpers for the model artifact cache.
+bool ReadFileBytes(const std::string& path, std::vector<std::uint8_t>* out);
+void WriteFileBytes(const std::string& path,
+                    const std::vector<std::uint8_t>& bytes);
+bool FileExists(const std::string& path);
+
+}  // namespace glsc

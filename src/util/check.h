@@ -1,0 +1,45 @@
+// Lightweight runtime-check macros. GLSC_CHECK is always on (it guards
+// invariants whose violation would corrupt bitstreams or silently produce
+// wrong science); GLSC_DCHECK compiles out in NDEBUG builds.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace glsc {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr,
+                                     const std::string& msg) {
+  std::ostringstream os;
+  os << file << ":" << line << ": check failed: " << expr;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::runtime_error(os.str());
+}
+
+}  // namespace glsc
+
+#define GLSC_CHECK(cond)                                       \
+  do {                                                         \
+    if (!(cond)) ::glsc::CheckFailed(__FILE__, __LINE__, #cond, ""); \
+  } while (0)
+
+#define GLSC_CHECK_MSG(cond, msg)                              \
+  do {                                                         \
+    if (!(cond)) {                                             \
+      std::ostringstream glsc_os_;                             \
+      glsc_os_ << msg;                                         \
+      ::glsc::CheckFailed(__FILE__, __LINE__, #cond, glsc_os_.str()); \
+    }                                                          \
+  } while (0)
+
+#ifdef NDEBUG
+#define GLSC_DCHECK(cond) \
+  do {                    \
+  } while (0)
+#else
+#define GLSC_DCHECK(cond) GLSC_CHECK(cond)
+#endif

@@ -1,0 +1,106 @@
+// Deterministic, fast pseudo-random number generation for data synthesis and
+// model initialization. xoshiro256** is used instead of std::mt19937 because it
+// is ~4x faster per draw and its state is trivially serializable, which keeps
+// dataset generation reproducible across platforms.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+
+namespace glsc {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) { Seed(seed); }
+
+  // SplitMix64-expanded seeding: any seed (including 0) yields a well-mixed
+  // full state.
+  void Seed(std::uint64_t seed) {
+    auto splitmix = [&seed]() {
+      seed += 0x9E3779B97F4A7C15ULL;
+      std::uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      return z ^ (z >> 31);
+    };
+    for (auto& word : state_) word = splitmix();
+    has_cached_normal_ = false;
+  }
+
+  std::uint64_t NextU64() {
+    const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, 1).
+  double Uniform() {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform in [lo, hi).
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+  float UniformF() { return static_cast<float>(Uniform()); }
+  float UniformF(float lo, float hi) {
+    return lo + (hi - lo) * UniformF();
+  }
+
+  // Integer in [0, n). n must be > 0.
+  std::uint64_t UniformInt(std::uint64_t n) {
+    // Lemire's multiply-shift with rejection for unbiasedness.
+    std::uint64_t x = NextU64();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < n) {
+      const std::uint64_t threshold = (0 - n) % n;
+      while (lo < threshold) {
+        x = NextU64();
+        m = static_cast<__uint128_t>(x) * n;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  // Standard normal via Box-Muller with caching of the second draw.
+  double Normal() {
+    if (has_cached_normal_) {
+      has_cached_normal_ = false;
+      return cached_normal_;
+    }
+    double u1 = Uniform();
+    // Guard the log: Uniform() can return exactly 0.
+    while (u1 <= 0.0) u1 = Uniform();
+    const double u2 = Uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * std::numbers::pi * u2;
+    cached_normal_ = r * std::sin(theta);
+    has_cached_normal_ = true;
+    return r * std::cos(theta);
+  }
+
+  double Normal(double mean, double stddev) { return mean + stddev * Normal(); }
+  float NormalF() { return static_cast<float>(Normal()); }
+
+  // Derive an independent stream (for per-thread or per-field generators).
+  Rng Fork() { return Rng(NextU64()); }
+
+ private:
+  static std::uint64_t Rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace glsc

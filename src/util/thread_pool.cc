@@ -1,0 +1,72 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+
+namespace glsc {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    const unsigned hc = std::thread::hardware_concurrency();
+    threads = hc > 0 ? hc : 1;
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(std::size_t n,
+                             const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (n == 1 || workers_.size() <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  // Dynamic index dispenser: workers and the caller pull the next index until
+  // exhausted. This balances irregular per-item cost (e.g. diffusion decode
+  // of different window sizes) better than static chunking.
+  auto counter = std::make_shared<std::atomic<std::size_t>>(0);
+  auto body = [counter, n, &fn] {
+    while (true) {
+      const std::size_t i = counter->fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      fn(i);
+    }
+  };
+  std::vector<std::future<void>> futs;
+  const std::size_t helpers = std::min(workers_.size(), n - 1);
+  futs.reserve(helpers);
+  for (std::size_t i = 0; i < helpers; ++i) futs.push_back(Submit(body));
+  body();
+  for (auto& f : futs) f.get();
+}
+
+ThreadPool& GlobalThreadPool() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace glsc

@@ -1,0 +1,61 @@
+// Shared-memory work pool used for coarse-grained parallelism (per-block
+// compression, per-window evaluation). Fine-grained loops inside tensor
+// kernels use OpenMP instead; the pool exists for irregular task graphs where
+// a parallel-for pragma does not fit.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace glsc {
+
+class ThreadPool {
+ public:
+  // threads == 0 selects hardware_concurrency (minimum 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  // Enqueue an arbitrary task; the future resolves when it completes.
+  template <typename F>
+  auto Submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> fut = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.emplace([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  // Blocking parallel-for over [0, n): fn(i) is invoked exactly once per
+  // index, distributed over the pool plus the calling thread.
+  void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+// Process-wide pool (lazily constructed) for callers that do not want to
+// manage lifetime themselves.
+ThreadPool& GlobalThreadPool();
+
+}  // namespace glsc

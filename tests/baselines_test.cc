@@ -1,0 +1,298 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/cdc.h"
+#include "baselines/gcd.h"
+#include "baselines/sz_like.h"
+#include "baselines/vae_sr.h"
+#include "baselines/zfp_like.h"
+#include "data/dataset.h"
+#include "data/field_generators.h"
+#include "tensor/metrics.h"
+#include "tensor/ops.h"
+
+namespace glsc::baselines {
+namespace {
+
+// ---- rule-based: pointwise error-bound property across datasets/bounds ----
+
+struct RuleCase {
+  data::DatasetKind kind;
+  double bound_scale;  // fraction of the data range
+};
+
+class RuleBasedBoundTest : public ::testing::TestWithParam<RuleCase> {};
+
+TEST_P(RuleBasedBoundTest, SZRespectsBoundAndCompresses) {
+  const auto& p = GetParam();
+  data::FieldSpec spec;
+  spec.frames = 12;
+  spec.height = 20;  // deliberately not a power of two
+  spec.width = 28;
+  const Tensor var0 = data::GenerateField(p.kind, spec).Slice0(0, 1);
+  const Tensor field = var0.Reshape({12, 20, 28});
+  const double range = field.MaxValue() - field.MinValue();
+  const double bound = p.bound_scale * range;
+
+  SZLikeCompressor sz;
+  const auto bytes = sz.Compress(field, bound);
+  const Tensor recon = sz.Decompress(bytes);
+  ASSERT_EQ(recon.shape(), field.shape());
+  EXPECT_LE(MaxAbsError(field, recon), bound * (1.0 + 1e-6));
+  // Meaningful reduction vs raw float32 at loose bounds.
+  if (p.bound_scale >= 1e-3) {
+    EXPECT_LT(bytes.size(), field.numel() * sizeof(float));
+  }
+}
+
+TEST_P(RuleBasedBoundTest, ZFPRespectsBoundAndCompresses) {
+  const auto& p = GetParam();
+  data::FieldSpec spec;
+  spec.frames = 9;
+  spec.height = 22;
+  spec.width = 26;
+  const Tensor var0 = data::GenerateField(p.kind, spec).Slice0(0, 1);
+  const Tensor field = var0.Reshape({9, 22, 26});
+  const double range = field.MaxValue() - field.MinValue();
+  const double bound = p.bound_scale * range;
+
+  ZFPLikeCompressor zfp;
+  const auto bytes = zfp.Compress(field, bound);
+  const Tensor recon = zfp.Decompress(bytes);
+  ASSERT_EQ(recon.shape(), field.shape());
+  EXPECT_LE(MaxAbsError(field, recon), bound * (1.0 + 1e-6));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RuleBasedBoundTest,
+    ::testing::Values(RuleCase{data::DatasetKind::kClimate, 1e-1},
+                      RuleCase{data::DatasetKind::kClimate, 1e-2},
+                      RuleCase{data::DatasetKind::kClimate, 1e-3},
+                      RuleCase{data::DatasetKind::kCombustion, 1e-2},
+                      RuleCase{data::DatasetKind::kCombustion, 1e-4},
+                      RuleCase{data::DatasetKind::kTurbulence, 1e-2},
+                      RuleCase{data::DatasetKind::kTurbulence, 1e-5}));
+
+TEST(SZLike, TighterBoundCostsMore) {
+  data::FieldSpec spec;
+  spec.frames = 8;
+  spec.height = 16;
+  spec.width = 16;
+  const Tensor field =
+      data::GenerateClimate(spec).Reshape({8, 16, 16});
+  const double range = field.MaxValue() - field.MinValue();
+  SZLikeCompressor sz;
+  const auto loose = sz.Compress(field, 1e-1 * range);
+  const auto tight = sz.Compress(field, 1e-4 * range);
+  EXPECT_LT(loose.size(), tight.size());
+}
+
+TEST(SZLike, SmoothDataCompressesBetterThanNoise) {
+  data::FieldSpec spec;
+  spec.frames = 8;
+  spec.height = 16;
+  spec.width = 16;
+  const Tensor smooth = data::GenerateClimate(spec).Reshape({8, 16, 16});
+  Rng rng(3);
+  Tensor noise = Tensor::Randn({8, 16, 16}, rng);
+  // Equalize ranges so equal absolute bounds are comparable.
+  const double srange = smooth.MaxValue() - smooth.MinValue();
+  const double nrange = noise.MaxValue() - noise.MinValue();
+  MulScalarInPlace(&noise, static_cast<float>(srange / nrange));
+
+  SZLikeCompressor sz;
+  const double bound = 1e-3 * srange;
+  EXPECT_LT(sz.Compress(smooth, bound).size(),
+            sz.Compress(noise, bound).size());
+}
+
+TEST(ZFPLike, ExactForConstantField) {
+  Tensor field = Tensor::Full({4, 8, 8}, 3.25f);
+  ZFPLikeCompressor zfp;
+  const auto bytes = zfp.Compress(field, 1e-3);
+  const Tensor recon = zfp.Decompress(bytes);
+  EXPECT_LE(MaxAbsError(field, recon), 1e-3);
+  // A constant block should cost almost nothing after entropy coding.
+  EXPECT_LT(bytes.size(), 200u);
+}
+
+TEST(SZLike, DecompressIsDeterministic) {
+  data::FieldSpec spec;
+  spec.frames = 6;
+  spec.height = 16;
+  spec.width = 16;
+  const Tensor field = data::GenerateClimate(spec).Reshape({6, 16, 16});
+  SZLikeCompressor sz;
+  const auto bytes = sz.Compress(field, 1e-2);
+  const Tensor a = sz.Decompress(bytes);
+  const Tensor b = sz.Decompress(bytes);
+  for (std::int64_t i = 0; i < a.numel(); ++i) ASSERT_EQ(a[i], b[i]);
+}
+
+TEST(ZFPLike, TighterBoundCostsMore) {
+  data::FieldSpec spec;
+  spec.frames = 8;
+  spec.height = 16;
+  spec.width = 16;
+  const Tensor field = data::GenerateTurbulence(spec).Reshape({8, 16, 16});
+  const double range = field.MaxValue() - field.MinValue();
+  ZFPLikeCompressor zfp;
+  EXPECT_LT(zfp.Compress(field, 1e-1 * range).size(),
+            zfp.Compress(field, 1e-4 * range).size());
+}
+
+TEST(ZFPLike, SingleBlockField) {
+  // Exactly one 4x4x4 block: exercises the no-padding fast path.
+  Rng rng(5);
+  Tensor field = Tensor::Randn({4, 4, 4}, rng);
+  ZFPLikeCompressor zfp;
+  const auto bytes = zfp.Compress(field, 0.01);
+  EXPECT_LE(MaxAbsError(field, zfp.Decompress(bytes)), 0.01);
+}
+
+TEST(RuleBased, RejectsNonPositiveBound) {
+  Tensor field({4, 8, 8});
+  SZLikeCompressor sz;
+  ZFPLikeCompressor zfp;
+  EXPECT_THROW(sz.Compress(field, 0.0), std::runtime_error);
+  EXPECT_THROW(zfp.Compress(field, -1.0), std::runtime_error);
+}
+
+// ---- learned baselines: tiny-training smoke + structural checks ----
+
+compress::VaeConfig TinyVae(std::uint64_t seed) {
+  compress::VaeConfig config;
+  config.latent_channels = 4;
+  config.hidden_channels = 6;
+  config.hyper_channels = 2;
+  config.seed = seed;
+  return config;
+}
+
+compress::VaeTrainConfig TinyVaeTrain() {
+  compress::VaeTrainConfig train;
+  train.iterations = 60;
+  train.batch_size = 2;
+  train.crop = 16;
+  train.log_every = 0;
+  train.lambda_double_at = 30;
+  train.lr_decay_every = 0;
+  return train;
+}
+
+TEST(CDC, TrainCompressDecompress) {
+  data::FieldSpec spec;
+  spec.frames = 24;
+  spec.height = 16;
+  spec.width = 16;
+  data::SequenceDataset dataset(data::GenerateClimate(spec));
+
+  for (const auto target : {PredictTarget::kEpsilon, PredictTarget::kX0}) {
+    CdcConfig config;
+    config.vae = TinyVae(3);
+    config.model_channels = 8;
+    config.heads = 2;
+    config.schedule_steps = 20;
+    config.target = target;
+    CDCCompressor cdc(config);
+    // The eps variant needs several hundred steps before its noise estimate
+    // is good enough for the quality assertion below; X0 gets the same budget.
+    cdc.Train(dataset, TinyVaeTrain(), /*diffusion_iters=*/800, /*crop=*/16);
+
+    const Tensor window = dataset.NormalizedWindow(0, 0, 4);
+    const auto compressed = cdc.Compress(window);
+    EXPECT_GT(compressed.frames.TotalBytes(), 0u);
+
+    Rng rng(7);
+    const Tensor recon = cdc.Decompress(compressed, /*steps=*/10, rng);
+    ASSERT_EQ(recon.shape(), window.shape());
+    EXPECT_TRUE(recon.AllFinite());
+
+    if (target == PredictTarget::kEpsilon) {
+      // With the eps parameterization even a briefly-trained model must stay
+      // in the neighbourhood of its VAE conditioning signal. (The X0 variant
+      // needs far more training before its direct prediction is usable, so
+      // only structural checks apply to it at this budget.)
+      const Tensor vae_only = cdc.DecompressVaeOnly(compressed);
+      EXPECT_LT(MeanSquaredError(window, recon),
+                10.0 * MeanSquaredError(window, vae_only) + 0.1);
+    }
+  }
+}
+
+TEST(GCD, TrainCompressDecompress) {
+  data::FieldSpec spec;
+  spec.frames = 24;
+  spec.height = 16;
+  spec.width = 16;
+  data::SequenceDataset dataset(data::GenerateCombustion(spec));
+
+  GcdConfig config;
+  config.vae = TinyVae(5);
+  config.model_channels = 8;
+  config.heads = 2;
+  config.schedule_steps = 20;
+  config.window = 4;
+  GCDCompressor gcd(config);
+  gcd.Train(dataset, TinyVaeTrain(), /*diffusion_iters=*/40, /*crop=*/16);
+
+  const Tensor window = dataset.NormalizedWindow(0, 2, 4);
+  const auto compressed = gcd.Compress(window);
+  Rng rng(9);
+  const Tensor recon = gcd.Decompress(compressed, /*steps=*/4, rng);
+  ASSERT_EQ(recon.shape(), window.shape());
+  EXPECT_TRUE(recon.AllFinite());
+}
+
+TEST(VAESR, TrainCompressDecompress) {
+  // 32x32 frames: the low-resolution branch halves them to 16x16, the
+  // smallest geometry whose hyperprior path round-trips (latent edge 4).
+  data::FieldSpec spec;
+  spec.frames = 24;
+  spec.height = 32;
+  spec.width = 32;
+  data::SequenceDataset dataset(data::GenerateTurbulence(spec));
+
+  VaeSrConfig config;
+  config.vae = TinyVae(7);
+  config.sr_channels = 8;
+  VAESRCompressor vaesr(config);
+  vaesr.Train(dataset, TinyVaeTrain(), /*sr_iters=*/80, /*crop=*/32);
+
+  const Tensor window = dataset.NormalizedWindow(0, 0, 6);
+  const auto compressed = vaesr.Compress(window);
+  EXPECT_GT(compressed.frames.TotalBytes(), 0u);
+  const Tensor recon = vaesr.Decompress(compressed);
+  ASSERT_EQ(recon.shape(), window.shape());
+  EXPECT_TRUE(recon.AllFinite());
+}
+
+TEST(VAESR, StoresFewerBytesThanFullResVae) {
+  // The low-resolution path must be cheaper per frame than coding the frames
+  // at full resolution with an equivalent VAE.
+  data::FieldSpec spec;
+  spec.frames = 16;
+  spec.height = 32;
+  spec.width = 32;
+  data::SequenceDataset dataset(data::GenerateClimate(spec));
+
+  VaeSrConfig config;
+  config.vae = TinyVae(11);
+  VAESRCompressor vaesr(config);
+  auto train = TinyVaeTrain();
+  train.iterations = 40;
+  vaesr.Train(dataset, train, /*sr_iters=*/20, /*crop=*/32);
+
+  compress::VaeHyperprior full_vae(TinyVae(11));
+  const Tensor window = dataset.NormalizedWindow(0, 0, 8);
+  const auto lr_bytes = vaesr.Compress(window).frames.TotalBytes();
+  const auto full_bytes =
+      full_vae
+          .Compress(window.Reshape({8, 1, 32, 32}))
+          .TotalBytes();
+  EXPECT_LT(lr_bytes, full_bytes);
+}
+
+}  // namespace
+}  // namespace glsc::baselines

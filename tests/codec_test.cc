@@ -1,0 +1,291 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "codec/bitio.h"
+#include "codec/factorized_prior.h"
+#include "codec/gaussian_model.h"
+#include "codec/huffman.h"
+#include "codec/range_coder.h"
+#include "util/rng.h"
+
+namespace glsc::codec {
+namespace {
+
+TEST(BitIo, RoundTrip) {
+  BitWriter w;
+  w.PutBit(true);
+  w.PutBits(0b1011, 4);
+  w.PutBits(0xDEAD, 16);
+  const auto bytes = w.Finish();
+  BitReader r(bytes.data(), bytes.size());
+  EXPECT_TRUE(r.GetBit());
+  EXPECT_EQ(r.GetBits(4), 0b1011u);
+  EXPECT_EQ(r.GetBits(16), 0xDEADu);
+}
+
+TEST(BitIo, ReadPastEndYieldsZeros) {
+  BitWriter w;
+  w.PutBit(true);
+  const auto bytes = w.Finish();
+  BitReader r(bytes.data(), bytes.size());
+  EXPECT_TRUE(r.GetBit());
+  for (int i = 0; i < 20; ++i) EXPECT_FALSE(r.GetBit());
+}
+
+// ---- range coder: round-trip under several symbol distributions ----
+
+struct RangeCase {
+  int alphabet;
+  double skew;  // 0 = uniform, higher = more skewed
+  int count;
+};
+
+class RangeCoderTest : public ::testing::TestWithParam<RangeCase> {};
+
+TEST_P(RangeCoderTest, RoundTrip) {
+  const auto& p = GetParam();
+  Rng rng(77);
+
+  // Build a frequency table.
+  std::vector<std::uint32_t> freq(p.alphabet);
+  std::uint32_t total = 0;
+  for (int s = 0; s < p.alphabet; ++s) {
+    freq[s] = 1 + static_cast<std::uint32_t>(
+                      60.0 * std::exp(-p.skew * s / p.alphabet));
+    total += freq[s];
+  }
+  ASSERT_LT(total, RangeEncoder::kMaxTotal);
+  std::vector<std::uint32_t> cum(p.alphabet + 1, 0);
+  for (int s = 0; s < p.alphabet; ++s) cum[s + 1] = cum[s] + freq[s];
+
+  // Random symbol stream drawn from the same distribution.
+  std::vector<int> symbols(p.count);
+  for (auto& s : symbols) {
+    const auto slot = static_cast<std::uint32_t>(rng.UniformInt(total));
+    int sym = 0;
+    while (cum[sym + 1] <= slot) ++sym;
+    s = sym;
+  }
+
+  RangeEncoder enc;
+  for (const int s : symbols) enc.Encode(cum[s], freq[s], total);
+  const auto bytes = enc.Finish();
+
+  RangeDecoder dec(bytes.data(), bytes.size());
+  for (const int expected : symbols) {
+    const std::uint32_t slot = dec.DecodeSlot(total);
+    int sym = 0;
+    while (cum[sym + 1] <= slot) ++sym;
+    dec.Consume(cum[sym], freq[sym], total);
+    ASSERT_EQ(sym, expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Distributions, RangeCoderTest,
+    ::testing::Values(RangeCase{2, 0.0, 5000}, RangeCase{2, 8.0, 5000},
+                      RangeCase{17, 0.0, 3000}, RangeCase{17, 5.0, 3000},
+                      RangeCase{256, 3.0, 2000}, RangeCase{1000, 0.0, 500}));
+
+TEST(RangeCoder, NearEntropyOnSkewedStream) {
+  // A 95/5 binary source has entropy ~0.286 bits/symbol; the coded size
+  // should be within a few percent of that plus flush overhead.
+  Rng rng(99);
+  const std::uint32_t total = 100;
+  const std::uint32_t f0 = 95, f1 = 5;
+  const int n = 20000;
+  RangeEncoder enc;
+  int ones = 0;
+  for (int i = 0; i < n; ++i) {
+    const bool one = rng.UniformInt(100) < 5;
+    ones += one;
+    if (one) enc.Encode(f0, f1, total);
+    else enc.Encode(0, f0, total);
+  }
+  const auto bytes = enc.Finish();
+  const double entropy_bits =
+      n * (-(0.95 * std::log2(0.95) + 0.05 * std::log2(0.05)));
+  EXPECT_LT(bytes.size() * 8.0, entropy_bits * 1.10 + 64);
+  (void)ones;
+}
+
+// ---- Gaussian conditional model ----
+
+class GaussianModelTest : public ::testing::TestWithParam<float> {};
+
+TEST_P(GaussianModelTest, RoundTripAtScale) {
+  const float sigma_value = GetParam();
+  Rng rng(123);
+  const Shape shape{2, 4, 6, 6};
+  Tensor mu = Tensor::Randn(shape, rng, 3.0f);
+  Tensor sigma = Tensor::Full(shape, sigma_value);
+  // y drawn near mu at the given scale, then rounded to integers.
+  Tensor y(shape);
+  for (std::int64_t i = 0; i < y.numel(); ++i) {
+    y[i] = std::nearbyint(mu[i] + sigma_value * rng.NormalF());
+  }
+
+  GaussianConditionalModel model;
+  const auto bytes = model.Encode(y, mu, sigma);
+  const Tensor decoded = model.Decode(bytes, mu, sigma);
+  for (std::int64_t i = 0; i < y.numel(); ++i) {
+    ASSERT_EQ(decoded[i], y[i]) << "at " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, GaussianModelTest,
+                         ::testing::Values(0.1f, 0.5f, 1.0f, 4.0f, 16.0f,
+                                           60.0f));
+
+TEST(GaussianModel, HandlesOutliersViaEscape) {
+  const Shape shape{1, 1, 2, 2};
+  Tensor mu = Tensor::Zeros(shape);
+  Tensor sigma = Tensor::Full(shape, 1.0f);
+  Tensor y(shape);
+  y[0] = 100000.0f;  // far outside the window
+  y[1] = -70000.0f;
+  y[2] = 0.0f;
+  y[3] = 63.0f;  // window edge
+  GaussianConditionalModel model;
+  const auto bytes = model.Encode(y, mu, sigma);
+  const Tensor decoded = model.Decode(bytes, mu, sigma);
+  for (std::int64_t i = 0; i < 4; ++i) EXPECT_EQ(decoded[i], y[i]);
+}
+
+TEST(GaussianModel, CodedSizeTracksTheory) {
+  Rng rng(321);
+  const Shape shape{1, 8, 16, 16};
+  Tensor mu = Tensor::Zeros(shape);
+  Tensor sigma = Tensor::Full(shape, 2.0f);
+  Tensor y(shape);
+  for (std::int64_t i = 0; i < y.numel(); ++i) {
+    y[i] = std::nearbyint(2.0f * rng.NormalF());
+  }
+  GaussianConditionalModel model;
+  const auto bytes = model.Encode(y, mu, sigma);
+  const double theory = model.TheoreticalBits(y, mu, sigma);
+  // Quantized tables + flush cost a little over the exact entropy.
+  EXPECT_LT(bytes.size() * 8.0, theory * 1.25 + 128);
+  EXPECT_GT(bytes.size() * 8.0, theory * 0.75);
+}
+
+// ---- logistic channel codec ----
+
+TEST(LogisticCodec, RoundTrip) {
+  Rng rng(55);
+  const Shape shape{3, 4, 5, 5};
+  std::vector<float> mu{0.0f, -2.5f, 10.0f, 0.3f};
+  std::vector<float> s{0.5f, 1.0f, 3.0f, 8.0f};
+  Tensor z(shape);
+  for (std::int64_t i = 0; i < z.numel(); ++i) {
+    z[i] = std::nearbyint(5.0f * rng.NormalF());
+  }
+  LogisticChannelCodec codec;
+  const auto bytes = codec.Encode(z, mu, s);
+  const Tensor decoded = codec.Decode(bytes, shape, mu, s);
+  for (std::int64_t i = 0; i < z.numel(); ++i) ASSERT_EQ(decoded[i], z[i]);
+}
+
+TEST(GaussianModel, EncodeIsDeterministic) {
+  Rng rng(777);
+  const Shape shape{1, 4, 8, 8};
+  Tensor mu = Tensor::Randn(shape, rng);
+  Tensor sigma = Tensor::Full(shape, 1.5f);
+  Tensor y(shape);
+  for (std::int64_t i = 0; i < y.numel(); ++i) {
+    y[i] = std::nearbyint(1.5f * rng.NormalF());
+  }
+  GaussianConditionalModel a, b;
+  EXPECT_EQ(a.Encode(y, mu, sigma), b.Encode(y, mu, sigma))
+      << "two model instances must emit identical bitstreams";
+}
+
+TEST(LogisticCodec, TheoreticalBitsSaneScale) {
+  // For z ~ round(N(0, 3)) under a logistic(0, 3) prior the per-element cost
+  // must land between 2 and 8 bits — a smoke bound that catches sign errors
+  // in the pmf computation.
+  Rng rng(778);
+  const Shape shape{1, 1, 16, 16};
+  Tensor z(shape);
+  for (std::int64_t i = 0; i < z.numel(); ++i) {
+    z[i] = std::nearbyint(3.0f * rng.NormalF());
+  }
+  LogisticChannelCodec codec;
+  const double bits = codec.TheoreticalBits(z, {0.0f}, {3.0f});
+  EXPECT_GT(bits / z.numel(), 2.0);
+  EXPECT_LT(bits / z.numel(), 8.0);
+}
+
+TEST(LogisticCodec, OutlierEscape) {
+  const Shape shape{1, 1, 1, 3};
+  std::vector<float> mu{0.0f};
+  std::vector<float> s{1.0f};
+  Tensor z(shape);
+  z[0] = 1e6f;
+  z[1] = -400.0f;
+  z[2] = 2.0f;
+  LogisticChannelCodec codec;
+  const auto bytes = codec.Encode(z, mu, s);
+  const Tensor decoded = codec.Decode(bytes, shape, mu, s);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(decoded[i], z[i]);
+}
+
+// ---- Huffman ----
+
+class HuffmanTest
+    : public ::testing::TestWithParam<std::pair<int, double>> {};
+
+TEST_P(HuffmanTest, RoundTrip) {
+  const auto [alphabet, skew] = GetParam();
+  Rng rng(888);
+  std::vector<std::int32_t> symbols(4000);
+  for (auto& s : symbols) {
+    // Two-sided geometric-ish distribution centred at 0.
+    const double u = rng.Uniform();
+    const int mag = static_cast<int>(-std::log(1.0 - u) * skew);
+    s = (rng.UniformInt(2) == 0 ? mag : -mag) % alphabet;
+  }
+  const auto bytes = HuffmanEncode(symbols);
+  EXPECT_EQ(HuffmanDecode(bytes), symbols);
+}
+
+INSTANTIATE_TEST_SUITE_P(Streams, HuffmanTest,
+                         ::testing::Values(std::pair{3, 0.5},
+                                           std::pair{100, 2.0},
+                                           std::pair{1000, 10.0},
+                                           std::pair{5, 0.01}));
+
+TEST(Huffman, EmptyStream) {
+  const auto bytes = HuffmanEncode({});
+  EXPECT_TRUE(HuffmanDecode(bytes).empty());
+}
+
+TEST(Huffman, SingleSymbolAlphabet) {
+  std::vector<std::int32_t> symbols(100, 7);
+  const auto bytes = HuffmanEncode(symbols);
+  EXPECT_EQ(HuffmanDecode(bytes), symbols);
+  // 100 identical symbols should cost ~1 bit each plus the table.
+  EXPECT_LT(bytes.size(), 40u);
+}
+
+TEST(Huffman, SizeNearEntropy) {
+  Rng rng(999);
+  std::vector<std::int32_t> symbols(20000);
+  for (auto& s : symbols) {
+    s = rng.UniformInt(100) < 90 ? 0 : static_cast<std::int32_t>(rng.UniformInt(8));
+  }
+  const auto bytes = HuffmanEncode(symbols);
+  const double entropy = SymbolEntropyBits(symbols);
+  // Huffman is within one bit/symbol of entropy; this stream is heavily
+  // skewed so the overhead bound matters.
+  EXPECT_LT(bytes.size() * 8.0, entropy + symbols.size() * 1.05 + 512);
+}
+
+TEST(Huffman, NegativeValues) {
+  std::vector<std::int32_t> symbols{-1000000, 1000000, 0, -1, 1, 0, 0, -1};
+  EXPECT_EQ(HuffmanDecode(HuffmanEncode(symbols)), symbols);
+}
+
+}  // namespace
+}  // namespace glsc::codec

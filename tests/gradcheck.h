@@ -1,0 +1,104 @@
+// Finite-difference gradient checking harness for explicit-backward layers.
+// The scalar loss is a fixed random projection of the layer output,
+// L = sum(w ⊙ f(x)), so dL/d(output) = w. Analytic input/parameter gradients
+// from Backward are compared against central differences in relative error.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <limits>
+
+#include "nn/layer.h"
+#include "tensor/ops.h"
+
+namespace glsc::testing {
+
+struct GradCheckResult {
+  double max_rel_err_input = 0.0;
+  double max_rel_err_params = 0.0;
+};
+
+// forward: must run the layer's Forward (training mode) and return the output.
+// backward: must run Backward with the given output-gradient and return the
+// input gradient. Parameter gradients are read from `params`.
+inline GradCheckResult CheckGradients(
+    const std::function<Tensor(const Tensor&)>& forward,
+    const std::function<Tensor(const Tensor&)>& backward,
+    const std::vector<nn::Param*>& params, Tensor input, Rng& rng,
+    float eps = 1e-2f, int probes = 24) {
+  GradCheckResult result;
+
+  // Forward once to learn the output shape, build the projection, then do the
+  // real forward/backward pass.
+  Tensor out_probe = forward(input);
+  Tensor proj = Tensor::Randn(out_probe.shape(), rng);
+  // Consume the pending Backward so the layer cache is clear.
+  backward(proj);
+
+  auto loss_at = [&](const Tensor& x) {
+    const Tensor out = forward(x);
+    const double loss = DotProduct(out, proj);
+    backward(proj);  // clears the cache; gradients accumulate but are unused
+    return loss;
+  };
+
+  // Analytic gradients: zero param grads, one clean forward/backward, then
+  // snapshot the parameter gradients (later loss_at calls keep accumulating
+  // into p->grad, which we must not read).
+  for (nn::Param* p : params) p->ZeroGrad();
+  Tensor out = forward(input);
+  Tensor grad_input = backward(proj);
+  std::vector<Tensor> grad_snapshot;
+  grad_snapshot.reserve(params.size());
+  for (nn::Param* p : params) grad_snapshot.push_back(p->grad.Clone());
+
+  // Central differences in float32 fight two error sources: truncation
+  // (wants small eps) and round-off in the forward pass (wants large eps).
+  // No single eps suits every coordinate, so each probe takes the best
+  // agreement over a small eps ladder — a wrong backward still fails at
+  // every eps, while float noise passes at one of them.
+  auto probe_coord = [&](float* coord, double analytic) {
+    double best = std::numeric_limits<double>::infinity();
+    for (const float e : {eps, 3.0f * eps, eps / 3.0f}) {
+      const float saved = *coord;
+      *coord = saved + e;
+      const double lp = loss_at(input);
+      *coord = saved - e;
+      const double lm = loss_at(input);
+      *coord = saved;
+      const double numeric = (lp - lm) / (2.0 * e);
+      const double denom =
+          std::max({std::fabs(numeric), std::fabs(analytic), 1e-3});
+      best = std::min(best, std::fabs(numeric - analytic) / denom);
+    }
+    return best;
+  };
+
+  // Input gradient probes (random subset of coordinates for large tensors).
+  const std::int64_t n = input.numel();
+  for (int probe = 0; probe < probes; ++probe) {
+    const auto i = static_cast<std::int64_t>(
+        rng.UniformInt(static_cast<std::uint64_t>(n)));
+    result.max_rel_err_input = std::max(result.max_rel_err_input,
+                                        probe_coord(&input[i], grad_input[i]));
+  }
+
+  // Parameter gradient probes.
+  for (std::size_t pi = 0; pi < params.size(); ++pi) {
+    nn::Param* p = params[pi];
+    const std::int64_t pn = p->value.numel();
+    const int pp = std::min<std::int64_t>(probes, pn);
+    for (int probe = 0; probe < pp; ++probe) {
+      const auto i = static_cast<std::int64_t>(
+          rng.UniformInt(static_cast<std::uint64_t>(pn)));
+      result.max_rel_err_params =
+          std::max(result.max_rel_err_params,
+                   probe_coord(&p->value[i], grad_snapshot[pi][i]));
+    }
+  }
+  return result;
+}
+
+}  // namespace glsc::testing

@@ -1,0 +1,174 @@
+// Property tests for the PCA error-bound module: the guarantee must hold for
+// every (field, reconstruction, tau) combination thrown at it.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "postprocess/residual_pca.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace glsc::postprocess {
+namespace {
+
+// Builds a fitted PCA from smooth synthetic residuals.
+ResidualPca MakeFittedPca(Rng& rng, std::int64_t block = 8,
+                          std::int64_t frames = 6, std::int64_t edge = 32) {
+  PcaConfig config;
+  config.block = block;
+  ResidualPca pca(config);
+  std::vector<Tensor> residuals;
+  for (std::int64_t f = 0; f < frames; ++f) {
+    Tensor r({edge, edge});
+    // Smooth residual structure + small noise, roughly what a learned
+    // compressor leaves behind.
+    const double ky = 2.0 * 3.14159265 * (1 + rng.UniformInt(3)) / edge;
+    const double kx = 2.0 * 3.14159265 * (1 + rng.UniformInt(3)) / edge;
+    for (std::int64_t i = 0; i < edge; ++i) {
+      for (std::int64_t j = 0; j < edge; ++j) {
+        r.At({i, j}) = static_cast<float>(0.1 * std::sin(ky * i + kx * j) +
+                                          0.01 * rng.Normal());
+      }
+    }
+    residuals.push_back(std::move(r));
+  }
+  pca.Fit(residuals);
+  return pca;
+}
+
+class BoundSweepTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(BoundSweepTest, GuaranteeHolds) {
+  const double tau = GetParam();
+  Rng rng(11);
+  ResidualPca pca = MakeFittedPca(rng);
+
+  Tensor original({32, 32});
+  Tensor recon({32, 32});
+  for (std::int64_t i = 0; i < original.numel(); ++i) {
+    original[i] = 0.5f * rng.NormalF();
+    recon[i] = original[i] + 0.08f * rng.NormalF();
+  }
+
+  const auto correction = pca.Correct(original, &recon, tau);
+  const double err = std::sqrt(SumSquares(Sub(original, recon)));
+  EXPECT_LE(err, tau * (1.0 + 1e-4) + 1e-12)
+      << "tau=" << tau << " coeffs=" << correction.coefficients;
+  EXPECT_LE(correction.l2_after, correction.l2_before + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Taus, BoundSweepTest,
+                         ::testing::Values(3.0, 1.0, 0.3, 0.1, 0.03, 0.01,
+                                           0.003));
+
+TEST(ResidualPca, TighterBoundCostsMoreBytes) {
+  Rng rng(13);
+  ResidualPca pca = MakeFittedPca(rng);
+  Tensor original({32, 32});
+  Tensor base({32, 32});
+  for (std::int64_t i = 0; i < original.numel(); ++i) {
+    original[i] = rng.NormalF();
+    base[i] = original[i] + 0.1f * rng.NormalF();
+  }
+  Tensor loose_rec = base.Clone();
+  Tensor tight_rec = base.Clone();
+  const auto loose = pca.Correct(original, &loose_rec, 1.0);
+  const auto tight = pca.Correct(original, &tight_rec, 0.05);
+  EXPECT_LT(loose.payload.size(), tight.payload.size());
+  EXPECT_LE(loose.coefficients, tight.coefficients);
+}
+
+TEST(ResidualPca, ApplyMatchesEncoderSideResult) {
+  Rng rng(17);
+  ResidualPca pca = MakeFittedPca(rng);
+  Tensor original({32, 32});
+  Tensor recon({32, 32});
+  for (std::int64_t i = 0; i < original.numel(); ++i) {
+    original[i] = rng.NormalF();
+    recon[i] = original[i] + 0.05f * rng.NormalF();
+  }
+  Tensor decoder_side = recon.Clone();
+  const auto correction = pca.Correct(original, &recon, 0.1);
+  pca.Apply(correction.payload, &decoder_side);
+  for (std::int64_t i = 0; i < recon.numel(); ++i) {
+    ASSERT_EQ(decoder_side[i], recon[i]) << "decoder divergence at " << i;
+  }
+}
+
+TEST(ResidualPca, LooseBoundNeedsNoCoefficients) {
+  Rng rng(19);
+  ResidualPca pca = MakeFittedPca(rng);
+  Tensor original({32, 32});
+  Tensor recon({32, 32});
+  for (std::int64_t i = 0; i < original.numel(); ++i) {
+    original[i] = rng.NormalF();
+    recon[i] = original[i] + 0.001f * rng.NormalF();
+  }
+  const auto correction = pca.Correct(original, &recon, 10.0);
+  EXPECT_EQ(correction.coefficients, 0);
+  EXPECT_LT(correction.payload.size(), 64u);
+}
+
+TEST(ResidualPca, SaveLoadRoundTrip) {
+  Rng rng(23);
+  ResidualPca pca = MakeFittedPca(rng);
+  ByteWriter out;
+  pca.Save(&out);
+
+  ResidualPca loaded;
+  ByteReader in(out.bytes());
+  loaded.Load(&in);
+  EXPECT_TRUE(loaded.fitted());
+
+  // Same correction payload from both instances.
+  Tensor original({32, 32});
+  Tensor rec_a({32, 32});
+  for (std::int64_t i = 0; i < original.numel(); ++i) {
+    original[i] = rng.NormalF();
+    rec_a[i] = original[i] + 0.05f * rng.NormalF();
+  }
+  Tensor rec_b = rec_a.Clone();
+  const auto ca = pca.Correct(original, &rec_a, 0.2);
+  const auto cb = loaded.Correct(original, &rec_b, 0.2);
+  EXPECT_EQ(ca.payload, cb.payload);
+}
+
+TEST(ResidualPca, BasisIsOrthonormal) {
+  Rng rng(29);
+  ResidualPca pca = MakeFittedPca(rng, /*block=*/4);
+  ByteWriter out;
+  pca.Save(&out);
+  ByteReader in(out.bytes());
+  const auto block = static_cast<std::int64_t>(in.GetVarU64());
+  const auto n_entries = in.GetVarU64();
+  const std::int64_t d = block * block;
+  ASSERT_EQ(n_entries, static_cast<std::uint64_t>(d * d));
+  std::vector<double> basis(n_entries);
+  for (auto& v : basis) v = in.GetF64();
+  // U^T U == I.
+  for (std::int64_t a = 0; a < d; ++a) {
+    for (std::int64_t b = 0; b < d; ++b) {
+      double dot = 0.0;
+      for (std::int64_t r = 0; r < d; ++r) {
+        dot += basis[r * d + a] * basis[r * d + b];
+      }
+      EXPECT_NEAR(dot, a == b ? 1.0 : 0.0, 1e-8);
+    }
+  }
+}
+
+TEST(ResidualPca, UnfittedCorrectThrows) {
+  ResidualPca pca;
+  Tensor a({8, 8}), b({8, 8});
+  EXPECT_THROW(pca.Correct(a, &b, 0.1), std::runtime_error);
+}
+
+TEST(ResidualPca, NonPositiveTauRejected) {
+  Rng rng(31);
+  ResidualPca pca = MakeFittedPca(rng);
+  Tensor a({32, 32}), b({32, 32});
+  EXPECT_THROW(pca.Correct(a, &b, 0.0), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace glsc::postprocess
