@@ -13,6 +13,8 @@
 #include "tensor/gemm.h"
 #include "tensor/im2col.h"
 #include "tensor/ops.h"
+#include "tensor/simd/dispatch.h"
+#include "tensor/simd/kernels.h"
 
 namespace {
 
@@ -29,8 +31,77 @@ void BM_Gemm(benchmark::State& state) {
     benchmark::DoNotOptimize(c.data());
   }
   state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+  state.SetLabel(simd::IsaName(simd::ActiveIsa()));
 }
 BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+// Pinned-level variants: the dispatch-speedup story in one run. Levels the
+// host lacks clamp to the best available (the label records what ran).
+void BM_GemmAtLevel(benchmark::State& state, simd::IsaLevel level) {
+  simd::ScopedIsaOverride override_level(level);
+  const auto n = state.range(0);
+  Rng rng(1);
+  Tensor a = Tensor::Randn({n, n}, rng);
+  Tensor b = Tensor::Randn({n, n}, rng);
+  Tensor c({n, n});
+  for (auto _ : state) {
+    MatMul(a.data(), b.data(), c.data(), n, n, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+  state.SetLabel(simd::IsaName(simd::ActiveIsa()));
+}
+void BM_GemmScalar(benchmark::State& state) {
+  BM_GemmAtLevel(state, simd::IsaLevel::kScalar);
+}
+void BM_GemmSse2(benchmark::State& state) {
+  BM_GemmAtLevel(state, simd::IsaLevel::kSSE2);
+}
+void BM_GemmAvx2(benchmark::State& state) {
+  BM_GemmAtLevel(state, simd::IsaLevel::kAVX2);
+}
+BENCHMARK(BM_GemmScalar)->Arg(256);
+BENCHMARK(BM_GemmSse2)->Arg(256);
+BENCHMARK(BM_GemmAvx2)->Arg(256);
+
+void BM_SiluForward(benchmark::State& state) {
+  Rng rng(20);
+  const std::int64_t n = 1 << 16;
+  Tensor x = Tensor::Randn({n}, rng, 3.0f);
+  Tensor y({n});
+  const bool scalar = state.range(0) != 0;
+  const simd::KernelTable& kernels =
+      scalar ? simd::KernelsFor(simd::IsaLevel::kScalar)
+             : simd::ActiveKernels();
+  for (auto _ : state) {
+    kernels.silu_fwd(x.data(), y.data(), n);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.SetLabel(simd::IsaName(kernels.level));
+}
+BENCHMARK(BM_SiluForward)->Arg(0)->Arg(1);
+
+void BM_SoftmaxRows(benchmark::State& state) {
+  Rng rng(21);
+  const std::int64_t rows = 256, d = 256;
+  Tensor x = Tensor::Randn({rows, d}, rng, 4.0f);
+  Tensor work({rows, d});
+  const bool scalar = state.range(0) != 0;
+  const simd::KernelTable& kernels =
+      scalar ? simd::KernelsFor(simd::IsaLevel::kScalar)
+             : simd::ActiveKernels();
+  for (auto _ : state) {
+    std::copy_n(x.data(), rows * d, work.data());
+    for (std::int64_t r = 0; r < rows; ++r) {
+      kernels.softmax_row(work.data() + r * d, d);
+    }
+    benchmark::DoNotOptimize(work.data());
+  }
+  state.SetItemsProcessed(state.iterations() * rows * d);
+  state.SetLabel(simd::IsaName(kernels.level));
+}
+BENCHMARK(BM_SoftmaxRows)->Arg(0)->Arg(1);
 
 void BM_Conv2dForward(benchmark::State& state) {
   const auto edge = state.range(0);
@@ -138,6 +209,25 @@ void BM_GaussianModelEncode(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * y.numel());
 }
 BENCHMARK(BM_GaussianModelEncode);
+
+void BM_GaussianModelDecode(benchmark::State& state) {
+  Rng rng(18);
+  const Shape shape{6, 8, 8, 8};
+  Tensor mu = Tensor::Zeros(shape);
+  Tensor sigma = Tensor::Full(shape, 2.0f);
+  Tensor y(shape);
+  for (std::int64_t i = 0; i < y.numel(); ++i) {
+    y[i] = std::nearbyint(2.0f * rng.NormalF());
+  }
+  codec::GaussianConditionalModel model;
+  const auto bytes = model.Encode(y, mu, sigma);
+  for (auto _ : state) {
+    Tensor back = model.Decode(bytes, mu, sigma);
+    benchmark::DoNotOptimize(back.data());
+  }
+  state.SetItemsProcessed(state.iterations() * y.numel());
+}
+BENCHMARK(BM_GaussianModelDecode);
 
 void BM_HuffmanRoundTrip(benchmark::State& state) {
   Rng rng(9);

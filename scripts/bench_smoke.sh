@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Micro-kernel perf smoke: runs the hot-path benchmarks (GEMM, Conv2d
+# forward, attention forward) and emits BENCH_micro.json so the performance
+# trajectory is tracked across PRs.
+#
+# Usage:
+#   scripts/bench_smoke.sh [extra google-benchmark flags...]
+#
+# Environment:
+#   BUILD_DIR   build tree containing bench_micro_kernels (default: build)
+#   OUT         output JSON path (default: BENCH_micro.json)
+#   GLSC_FORCE_SCALAR=1 / GLSC_ISA=...  pin the dispatch level under test
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build}
+OUT=${OUT:-BENCH_micro.json}
+BIN="$BUILD_DIR/bench_micro_kernels"
+
+if [[ ! -x "$BIN" ]]; then
+  echo "error: $BIN not found — configure and build first:" >&2
+  echo "  cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
+  exit 1
+fi
+
+"$BIN" \
+  --benchmark_filter='BM_Gemm|BM_Conv2dForward|BM_AttentionForward' \
+  --benchmark_out="$OUT" \
+  --benchmark_out_format=json \
+  "$@"
+
+echo "wrote $OUT"

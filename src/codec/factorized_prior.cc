@@ -70,18 +70,28 @@ std::vector<std::uint8_t> LogisticChannelCodec::Encode(
   RangeEncoder enc;
   const std::int64_t batch = z.dim(0);
   const std::int64_t inner = z.numel() / (batch * channels);
+  enc.Reserve(static_cast<std::size_t>(z.numel()) + 64);
   const float* pz = z.data();
   const int window = 2 * kHalfWindow;
+  std::vector<std::int32_t> slots;
+  slots.reserve(static_cast<std::size_t>(inner));
   for (std::int64_t b = 0; b < batch; ++b) {
     for (std::int64_t c = 0; c < channels; ++c) {
+      // Every element of a channel codes against one fixed table, so the
+      // whole inner extent flows through the bulk span API; only escapes
+      // force a flush.
       const FreqTable& table = tables[static_cast<std::size_t>(c)];
+      slots.clear();
       for (std::int64_t i = 0; i < inner; ++i) {
         const auto k = static_cast<std::int64_t>(
             std::nearbyint(pz[(b * channels + c) * inner + i]));
         const std::int64_t slot = k - table.origin;
         if (slot >= 0 && slot < window) {
-          enc.Encode(table.cum[slot], table.freq[slot], table.total);
+          slots.push_back(static_cast<std::int32_t>(slot));
         } else {
+          enc.EncodeSpan(table.cum.data(), table.freq.data(), table.total,
+                         slots.data(), slots.size());
+          slots.clear();
           enc.Encode(table.cum[window], table.freq[window], table.total);
           const std::int64_t d = k - table.origin;
           const auto zz = static_cast<std::uint32_t>((d << 1) ^ (d >> 63));
@@ -89,6 +99,8 @@ std::vector<std::uint8_t> LogisticChannelCodec::Encode(
           enc.Encode(static_cast<std::uint16_t>(zz >> 16), 1, 1u << 16);
         }
       }
+      enc.EncodeSpan(table.cum.data(), table.freq.data(), table.total,
+                     slots.data(), slots.size());
     }
   }
   return enc.Finish();
@@ -112,29 +124,36 @@ Tensor LogisticChannelCodec::Decode(const std::vector<std::uint8_t>& bytes,
   const std::int64_t inner = z.numel() / (batch * channels);
   float* pz = z.data();
   const int window = 2 * kHalfWindow;
+  std::vector<std::int32_t> syms(static_cast<std::size_t>(inner));
   for (std::int64_t b = 0; b < batch; ++b) {
     for (std::int64_t c = 0; c < channels; ++c) {
       const FreqTable& table = tables[static_cast<std::size_t>(c)];
-      for (std::int64_t i = 0; i < inner; ++i) {
-        const std::uint32_t slot_pos = dec.DecodeSlot(table.total);
-        const auto it =
-            std::upper_bound(table.cum.begin(), table.cum.end(), slot_pos);
-        const int sym = static_cast<int>(it - table.cum.begin()) - 1;
-        dec.Consume(table.cum[sym], table.freq[sym], table.total);
-        std::int64_t k;
-        if (sym < window) {
-          k = table.origin + sym;
-        } else {
-          const std::uint32_t lo = dec.DecodeSlot(1u << 16);
-          dec.Consume(lo, 1, 1u << 16);
-          const std::uint32_t hi = dec.DecodeSlot(1u << 16);
-          dec.Consume(hi, 1, 1u << 16);
-          const std::uint32_t zz = lo | (hi << 16);
-          const std::int64_t d = static_cast<std::int64_t>(zz >> 1) ^
-                                 -static_cast<std::int64_t>(zz & 1);
-          k = table.origin + d;
+      float* out = pz + (b * channels + c) * inner;
+      std::int64_t i = 0;
+      while (i < inner) {
+        const std::size_t got = dec.DecodeSpan(
+            table.cum.data(), table.freq.data(),
+            static_cast<std::uint32_t>(window) + 1, table.total,
+            /*stop_sym=*/window, syms.data(),
+            static_cast<std::size_t>(inner - i));
+        for (std::size_t j = 0; j < got; ++j) {
+          const std::int32_t sym = syms[j];
+          std::int64_t k;
+          if (sym < window) {
+            k = table.origin + sym;
+          } else {
+            const std::uint32_t lo = dec.DecodeSlot(1u << 16);
+            dec.Consume(lo, 1, 1u << 16);
+            const std::uint32_t hi = dec.DecodeSlot(1u << 16);
+            dec.Consume(hi, 1, 1u << 16);
+            const std::uint32_t zz = lo | (hi << 16);
+            const std::int64_t d = static_cast<std::int64_t>(zz >> 1) ^
+                                   -static_cast<std::int64_t>(zz & 1);
+            k = table.origin + d;
+          }
+          out[i + static_cast<std::int64_t>(j)] = static_cast<float>(k);
         }
-        pz[(b * channels + c) * inner + i] = static_cast<float>(k);
+        i += static_cast<std::int64_t>(got);
       }
     }
   }

@@ -1,7 +1,11 @@
 #include "codec/gaussian_model.h"
 
 #include <algorithm>
+#include <array>
+#include <atomic>
 #include <cmath>
+#include <memory>
+#include <mutex>
 
 #include "util/check.h"
 
@@ -85,17 +89,26 @@ GaussianConditionalModel::FreqTable GaussianConditionalModel::BuildTable(
   return table;
 }
 
-const GaussianConditionalModel::FreqTable& GaussianConditionalModel::TableFor(
-    float mu, float sigma, int* sigma_bin, int* frac_bin) {
-  QuantizeParams(mu, sigma, sigma_bin, frac_bin);
-  const std::uint32_t key =
-      static_cast<std::uint32_t>(*sigma_bin) * kFracBins +
-      static_cast<std::uint32_t>(*frac_bin);
-  auto it = cache_.find(key);
-  if (it == cache_.end()) {
-    it = cache_.emplace(key, BuildTable(*sigma_bin, *frac_bin)).first;
+const GaussianConditionalModel::FreqTable&
+GaussianConditionalModel::CachedTable(int sigma_bin, int frac_bin) {
+  // Lock-free fast path over an atomic pointer per (sigma_bin, frac_bin)
+  // slot; builds are serialized by a mutex. Built tables are immutable and
+  // live for the process, so readers never see a partially-built table.
+  static std::array<std::atomic<const FreqTable*>, kSigmaBins * kFracBins>
+      slots{};
+  static std::mutex build_mutex;
+  auto& slot = slots[static_cast<std::size_t>(sigma_bin) * kFracBins +
+                     static_cast<std::size_t>(frac_bin)];
+  const FreqTable* table = slot.load(std::memory_order_acquire);
+  if (table == nullptr) {
+    std::lock_guard<std::mutex> lock(build_mutex);
+    table = slot.load(std::memory_order_relaxed);
+    if (table == nullptr) {
+      table = new FreqTable(BuildTable(sigma_bin, frac_bin));
+      slot.store(table, std::memory_order_release);
+    }
   }
-  return it->second;
+  return *table;
 }
 
 std::vector<std::uint8_t> GaussianConditionalModel::Encode(
@@ -103,28 +116,54 @@ std::vector<std::uint8_t> GaussianConditionalModel::Encode(
   GLSC_CHECK(y.shape() == mu.shape() && y.shape() == sigma.shape());
   RangeEncoder enc;
   const std::int64_t n = y.numel();
+  // Typical latents code to ~1 byte per element; a one-shot reserve keeps
+  // the output vector from reallocating through the hot loop.
+  enc.Reserve(static_cast<std::size_t>(n) + 64);
   const float* py = y.data();
   const float* pm = mu.data();
   const float* ps = sigma.data();
   const int window = 2 * kHalfWindow;
 
-  for (std::int64_t i = 0; i < n; ++i) {
-    int sbin, fbin;
-    const FreqTable& table = TableFor(pm[i], ps[i], &sbin, &fbin);
-    const auto yi = static_cast<std::int64_t>(std::nearbyint(py[i]));
-    const auto mu_round = static_cast<std::int64_t>(std::nearbyint(pm[i]));
-    const std::int64_t d = yi - mu_round;
-    if (d >= -kHalfWindow && d < kHalfWindow) {
-      const int slot = static_cast<int>(d) + kHalfWindow;
-      enc.Encode(table.cum[slot], table.freq[slot], table.total);
-    } else {
-      // Escape: code the escape symbol then the value as a raw 32-bit zigzag
-      // through two 16-bit uniform symbols.
-      enc.Encode(table.cum[window], table.freq[window], table.total);
-      const auto zz = static_cast<std::uint32_t>((d << 1) ^ (d >> 63));
-      enc.Encode(static_cast<std::uint16_t>(zz & 0xFFFF), 1, 1u << 16);
-      enc.Encode(static_cast<std::uint16_t>(zz >> 16), 1, 1u << 16);
+  std::vector<std::int32_t> slots;
+  slots.reserve(static_cast<std::size_t>(std::min<std::int64_t>(n, 4096)));
+  std::int64_t i = 0;
+  while (i < n) {
+    // Contiguous elements with bitwise-equal (mu, sigma) share one table and
+    // one parameter quantization; constant-parameter tensors (the common
+    // bench and keyframe case) collapse into a single run.
+    const float mu_i = pm[i];
+    const float sigma_i = ps[i];
+    std::int64_t run_end = i + 1;
+    while (run_end < n && pm[run_end] == mu_i && ps[run_end] == sigma_i) {
+      ++run_end;
     }
+    int sbin, fbin;
+    QuantizeParams(mu_i, sigma_i, &sbin, &fbin);
+    const FreqTable& table = CachedTable(sbin, fbin);
+    const auto mu_round = static_cast<std::int64_t>(std::nearbyint(mu_i));
+
+    slots.clear();
+    for (std::int64_t j = i; j < run_end; ++j) {
+      const auto yi = static_cast<std::int64_t>(std::nearbyint(py[j]));
+      const std::int64_t d = yi - mu_round;
+      if (d >= -kHalfWindow && d < kHalfWindow) {
+        slots.push_back(static_cast<std::int32_t>(d) + kHalfWindow);
+      } else {
+        // Escape: flush the pending in-window symbols, then code the escape
+        // symbol and the value as a raw 32-bit zigzag through two 16-bit
+        // uniform symbols.
+        enc.EncodeSpan(table.cum.data(), table.freq.data(), table.total,
+                       slots.data(), slots.size());
+        slots.clear();
+        enc.Encode(table.cum[window], table.freq[window], table.total);
+        const auto zz = static_cast<std::uint32_t>((d << 1) ^ (d >> 63));
+        enc.Encode(static_cast<std::uint16_t>(zz & 0xFFFF), 1, 1u << 16);
+        enc.Encode(static_cast<std::uint16_t>(zz >> 16), 1, 1u << 16);
+      }
+    }
+    enc.EncodeSpan(table.cum.data(), table.freq.data(), table.total,
+                   slots.data(), slots.size());
+    i = run_end;
   }
   return enc.Finish();
 }
@@ -141,30 +180,53 @@ Tensor GaussianConditionalModel::Decode(const std::vector<std::uint8_t>& bytes,
   const float* ps = sigma.data();
   const int window = 2 * kHalfWindow;
 
-  for (std::int64_t i = 0; i < n; ++i) {
-    int sbin, fbin;
-    const FreqTable& table = TableFor(pm[i], ps[i], &sbin, &fbin);
-    const std::uint32_t slot_pos = dec.DecodeSlot(table.total);
-    // Binary search the cumulative table for the symbol owning this slot.
-    const auto it =
-        std::upper_bound(table.cum.begin(), table.cum.end(), slot_pos);
-    const int sym = static_cast<int>(it - table.cum.begin()) - 1;
-    dec.Consume(table.cum[sym], table.freq[sym], table.total);
-
-    const auto mu_round = static_cast<std::int64_t>(std::nearbyint(pm[i]));
-    std::int64_t d;
-    if (sym < window) {
-      d = sym - kHalfWindow;
-    } else {
-      const std::uint32_t lo = dec.DecodeSlot(1u << 16);
-      dec.Consume(lo, 1, 1u << 16);
-      const std::uint32_t hi = dec.DecodeSlot(1u << 16);
-      dec.Consume(hi, 1, 1u << 16);
-      const std::uint32_t zz = lo | (hi << 16);
-      d = static_cast<std::int64_t>(zz >> 1) ^
-          -static_cast<std::int64_t>(zz & 1);
+  std::vector<std::int32_t> syms(
+      static_cast<std::size_t>(std::min<std::int64_t>(n, 4096)));
+  std::int64_t i = 0;
+  while (i < n) {
+    // Mirror of Encode's run detection: identical (mu, sigma) runs decode
+    // against one cached table via the bulk span API.
+    const float mu_i = pm[i];
+    const float sigma_i = ps[i];
+    std::int64_t run_end = i + 1;
+    while (run_end < n && pm[run_end] == mu_i && ps[run_end] == sigma_i) {
+      ++run_end;
     }
-    py[i] = static_cast<float>(mu_round + d);
+    int sbin, fbin;
+    QuantizeParams(mu_i, sigma_i, &sbin, &fbin);
+    const FreqTable& table = CachedTable(sbin, fbin);
+    const auto mu_round = static_cast<std::int64_t>(std::nearbyint(mu_i));
+
+    std::int64_t j = i;
+    while (j < run_end) {
+      const std::size_t want = static_cast<std::size_t>(
+          std::min<std::int64_t>(run_end - j,
+                                 static_cast<std::int64_t>(syms.size())));
+      const std::size_t got = dec.DecodeSpan(
+          table.cum.data(), table.freq.data(),
+          static_cast<std::uint32_t>(window) + 1, table.total,
+          /*stop_sym=*/window, syms.data(), want);
+      for (std::size_t k = 0; k < got; ++k) {
+        const std::int32_t sym = syms[k];
+        std::int64_t d;
+        if (sym < window) {
+          d = sym - kHalfWindow;
+        } else {
+          // Escape payload: raw 32-bit zigzag via two 16-bit uniforms.
+          const std::uint32_t lo = dec.DecodeSlot(1u << 16);
+          dec.Consume(lo, 1, 1u << 16);
+          const std::uint32_t hi = dec.DecodeSlot(1u << 16);
+          dec.Consume(hi, 1, 1u << 16);
+          const std::uint32_t zz = lo | (hi << 16);
+          d = static_cast<std::int64_t>(zz >> 1) ^
+              -static_cast<std::int64_t>(zz & 1);
+        }
+        py[j + static_cast<std::int64_t>(k)] =
+            static_cast<float>(mu_round + d);
+      }
+      j += static_cast<std::int64_t>(got);
+    }
+    i = run_end;
   }
   return y;
 }

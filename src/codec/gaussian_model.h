@@ -11,8 +11,6 @@
 #pragma once
 
 #include <cstdint>
-#include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "codec/range_coder.h"
@@ -48,17 +46,17 @@ class GaussianConditionalModel {
     std::uint32_t total = 0;
   };
 
-  // Quantizes sigma (log-spaced) and mu's fractional part and memoizes the
-  // resulting table. Deterministic: encoder and decoder derive equal tables.
-  const FreqTable& TableFor(float mu, float sigma, int* sigma_bin,
-                            int* frac_bin);
+  // Tables are pure functions of the (sigma_bin, frac_bin) pair, so they are
+  // memoized once per process in a lock-guarded static cache shared by every
+  // model instance — repeated Encode/Decode windows (and fresh model objects)
+  // never rebuild an already-known table. Deterministic: encoder and decoder
+  // derive equal tables.
+  static const FreqTable& CachedTable(int sigma_bin, int frac_bin);
   static FreqTable BuildTable(int sigma_bin, int frac_bin);
   static float SigmaForBin(int bin);
   static float FracForBin(int bin);
   static void QuantizeParams(float mu, float sigma, int* sigma_bin,
                              int* frac_bin);
-
-  std::unordered_map<std::uint32_t, FreqTable> cache_;
 };
 
 }  // namespace glsc::codec

@@ -1,5 +1,7 @@
 #include "codec/range_coder.h"
 
+#include <algorithm>
+
 #include "util/check.h"
 
 namespace glsc::codec {
@@ -19,6 +21,22 @@ void RangeEncoder::Encode(std::uint32_t cum, std::uint32_t freq,
   low_ += cum * range_;
   range_ *= freq;
   Normalize();
+}
+
+void RangeEncoder::EncodeSpan(const std::uint32_t* cum,
+                              const std::uint32_t* freq, std::uint32_t total,
+                              const std::int32_t* syms, std::size_t n) {
+  GLSC_DCHECK(total < kMaxTotal);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::int32_t s = syms[i];
+    GLSC_DCHECK(s >= 0);
+    GLSC_DCHECK(freq[s] > 0);
+    GLSC_DCHECK(cum[s] + freq[s] <= total);
+    range_ /= total;
+    low_ += cum[s] * range_;
+    range_ *= freq[s];
+    Normalize();
+  }
 }
 
 void RangeEncoder::Normalize() {
@@ -64,6 +82,29 @@ void RangeDecoder::Consume(std::uint32_t cum, std::uint32_t freq,
   low_ += cum * range_;
   range_ *= freq;
   Normalize();
+}
+
+std::size_t RangeDecoder::DecodeSpan(const std::uint32_t* cum,
+                                     const std::uint32_t* freq,
+                                     std::uint32_t nsyms, std::uint32_t total,
+                                     std::int32_t stop_sym, std::int32_t* syms,
+                                     std::size_t n) {
+  GLSC_DCHECK(total < RangeEncoder::kMaxTotal);
+  GLSC_DCHECK(cum[nsyms] == total);
+  for (std::size_t i = 0; i < n; ++i) {
+    range_ /= total;
+    std::uint32_t slot = (code_ - low_) / range_;
+    // Clamp: rounding at the interval boundary can land exactly on `total`.
+    if (slot >= total) slot = total - 1;
+    const std::uint32_t* it = std::upper_bound(cum, cum + nsyms + 1, slot);
+    const auto sym = static_cast<std::int32_t>(it - cum) - 1;
+    low_ += cum[sym] * range_;
+    range_ *= freq[sym];
+    Normalize();
+    syms[i] = sym;
+    if (sym == stop_sym) return i + 1;
+  }
+  return n;
 }
 
 void RangeDecoder::Normalize() {

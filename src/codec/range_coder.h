@@ -17,6 +17,18 @@ class RangeEncoder {
   // Requires 0 < freq, cum + freq <= total, total < kMaxTotal.
   void Encode(std::uint32_t cum, std::uint32_t freq, std::uint32_t total);
 
+  // Bulk path: encodes n symbols drawn from ONE frequency table, where
+  // symbol s occupies [cum[s], cum[s] + freq[s]). Byte-identical to calling
+  // Encode(cum[syms[i]], freq[syms[i]], total) in a loop; the point is to
+  // hoist the per-symbol table indirection out of callers' hot loops.
+  void EncodeSpan(const std::uint32_t* cum, const std::uint32_t* freq,
+                  std::uint32_t total, const std::int32_t* syms,
+                  std::size_t n);
+
+  // Pre-sizes the output buffer from a caller-supplied byte estimate so
+  // large tensors do not pay realloc churn while coding.
+  void Reserve(std::size_t bytes) { out_.reserve(out_.size() + bytes); }
+
   // Flushes the remaining state; the encoder must not be reused afterwards.
   std::vector<std::uint8_t> Finish();
 
@@ -39,6 +51,18 @@ class RangeDecoder {
   // must call Consume with that symbol's interval.
   std::uint32_t DecodeSlot(std::uint32_t total);
   void Consume(std::uint32_t cum, std::uint32_t freq, std::uint32_t total);
+
+  // Bulk path: decodes up to n symbols drawn from ONE table of nsyms
+  // symbols with cumulative bounds cum[0..nsyms] (cum[nsyms] == total).
+  // Symbols are resolved internally (binary search over cum) and written to
+  // syms. When stop_sym >= 0, decoding halts right after emitting stop_sym
+  // so the caller can consume out-of-band data (escape payloads) before
+  // resuming. Returns the number of symbols written (including the stop
+  // symbol when hit).
+  std::size_t DecodeSpan(const std::uint32_t* cum, const std::uint32_t* freq,
+                         std::uint32_t nsyms, std::uint32_t total,
+                         std::int32_t stop_sym, std::int32_t* syms,
+                         std::size_t n);
 
   std::size_t BytesRead() const { return pos_; }
 

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "tensor/simd/kernels.h"
+
 namespace glsc::nn {
 namespace {
 
@@ -12,25 +14,16 @@ inline float Sigmoid(float x) { return 1.0f / (1.0f + std::exp(-x)); }
 Tensor SiLU::Forward(const Tensor& x, bool /*training*/) {
   cached_input_ = x;
   Tensor y(x.shape());
-  const float* px = x.data();
-  float* py = y.data();
-  const std::int64_t n = x.numel();
-  for (std::int64_t i = 0; i < n; ++i) py[i] = px[i] * Sigmoid(px[i]);
+  simd::ActiveKernels().silu_fwd(x.data(), y.data(), x.numel());
   return y;
 }
 
 Tensor SiLU::Backward(const Tensor& grad_out) {
   GLSC_CHECK(cached_input_.defined());
   Tensor grad_in(grad_out.shape());
-  const float* px = cached_input_.data();
-  const float* pg = grad_out.data();
-  float* pi = grad_in.data();
-  const std::int64_t n = grad_out.numel();
-  for (std::int64_t i = 0; i < n; ++i) {
-    const float s = Sigmoid(px[i]);
-    // d/dx [x*s(x)] = s(x) * (1 + x * (1 - s(x)))
-    pi[i] = pg[i] * s * (1.0f + px[i] * (1.0f - s));
-  }
+  // d/dx [x*s(x)] = s(x) * (1 + x * (1 - s(x)))
+  simd::ActiveKernels().silu_bwd(cached_input_.data(), grad_out.data(),
+                                 grad_in.data(), grad_out.numel());
   cached_input_ = Tensor();
   return grad_in;
 }

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "tensor/gemm.h"
+#include "tensor/simd/kernels.h"
 
 namespace glsc::nn {
 
@@ -12,17 +13,9 @@ void SoftmaxLastDim(Tensor* t) {
   const std::int64_t d = t->shape().back();
   const std::int64_t rows = t->numel() / d;
   float* p = t->data();
+  const simd::KernelTable& kernels = simd::ActiveKernels();
   for (std::int64_t r = 0; r < rows; ++r) {
-    float* row = p + r * d;
-    float mx = row[0];
-    for (std::int64_t i = 1; i < d; ++i) mx = std::max(mx, row[i]);
-    double sum = 0.0;
-    for (std::int64_t i = 0; i < d; ++i) {
-      row[i] = std::exp(row[i] - mx);
-      sum += row[i];
-    }
-    const float inv = static_cast<float>(1.0 / sum);
-    for (std::int64_t i = 0; i < d; ++i) row[i] *= inv;
+    kernels.softmax_row(p + r * d, d);
   }
 }
 
@@ -81,10 +74,8 @@ Tensor MultiHeadSelfAttention::Forward(const Tensor& x, bool training) {
     float* out = heads_out.data() + bh * l * head_dim_;
     Gemm(false, true, l, l, head_dim_, scale, q, head_dim_, k, head_dim_, 0.0f,
          attn, l);
-    Tensor attn_view({l, l});
-    std::copy_n(attn, l * l, attn_view.data());
-    SoftmaxLastDim(&attn_view);
-    std::copy_n(attn_view.data(), l * l, attn);
+    const simd::KernelTable& kernels = simd::ActiveKernels();
+    for (std::int64_t r = 0; r < l; ++r) kernels.softmax_row(attn + r * l, l);
     Gemm(false, false, l, head_dim_, l, 1.0f, attn, l, v, head_dim_, 0.0f, out,
          head_dim_);
   }

@@ -42,15 +42,12 @@ Tensor Conv2d::Forward(const Tensor& x, bool /*training*/) {
   for (std::int64_t b = 0; b < batch; ++b) {
     Im2Col(x.data() + b * in_c_ * h * w, in_c_, h, w, kernel_, kernel_,
            stride_, pad_, columns.data());
-    // y_b = W [out_c, col_rows] * columns [col_rows, col_cols]
-    Gemm(false, false, out_c_, col_cols, col_rows, 1.0f, weight_.value.data(),
-         col_rows, columns.data(), col_cols, 0.0f,
-         y.data() + b * out_c_ * col_cols, col_cols);
-    float* py = y.data() + b * out_c_ * col_cols;
-    const float* pb = bias_.value.data();
-    for (std::int64_t c = 0; c < out_c_; ++c) {
-      for (std::int64_t i = 0; i < col_cols; ++i) py[c * col_cols + i] += pb[c];
-    }
+    // y_b = W [out_c, col_rows] * columns [col_rows, col_cols], with the
+    // per-channel bias fused into the final-panel write-back.
+    GemmEx(false, false, out_c_, col_cols, col_rows, 1.0f,
+           weight_.value.data(), col_rows, columns.data(), col_cols, 0.0f,
+           y.data() + b * out_c_ * col_cols, col_cols, bias_.value.data(),
+           GemmEpilogue::kBiasRow);
   }
   return y;
 }

@@ -25,16 +25,11 @@ Tensor Dense::Forward(const Tensor& x, bool /*training*/) {
   Shape out_shape = x.shape();
   out_shape.back() = out_;
   Tensor y(out_shape);
-  // y = x * W^T
-  Gemm(false, true, rows, out_, in_, 1.0f, x.data(), in_, weight_.value.data(),
-       in_, 0.0f, y.data(), out_);
-  if (has_bias_) {
-    float* py = y.data();
-    const float* pb = bias_.value.data();
-    for (std::int64_t r = 0; r < rows; ++r) {
-      for (std::int64_t c = 0; c < out_; ++c) py[r * out_ + c] += pb[c];
-    }
-  }
+  // y = x * W^T, with the feature bias fused into the final-panel write-back.
+  GemmEx(false, true, rows, out_, in_, 1.0f, x.data(), in_,
+         weight_.value.data(), in_, 0.0f, y.data(), out_,
+         has_bias_ ? bias_.value.data() : nullptr,
+         has_bias_ ? GemmEpilogue::kBiasCol : GemmEpilogue::kNone);
   return y;
 }
 

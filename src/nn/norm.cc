@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "tensor/simd/kernels.h"
+
 namespace glsc::nn {
 
 GroupNorm::GroupNorm(std::int64_t groups, std::int64_t channels,
@@ -30,14 +32,12 @@ Tensor GroupNorm::Forward(const Tensor& x, bool /*training*/) {
   const float* pg = gamma_.value.data();
   const float* pb = beta_.value.data();
 
+  const simd::KernelTable& kernels = simd::ActiveKernels();
   for (std::int64_t b = 0; b < batch; ++b) {
     for (std::int64_t g = 0; g < groups_; ++g) {
       const float* xs = px + (b * channels_ + g * ch_per_g) * hw;
       double sum = 0.0, sumsq = 0.0;
-      for (std::int64_t i = 0; i < group_size; ++i) {
-        sum += xs[i];
-        sumsq += static_cast<double>(xs[i]) * xs[i];
-      }
+      kernels.moments(xs, group_size, &sum, &sumsq);
       const double mean = sum / group_size;
       const double var = sumsq / group_size - mean * mean;
       const float inv_std = static_cast<float>(1.0 / std::sqrt(var + eps_));
@@ -46,13 +46,9 @@ Tensor GroupNorm::Forward(const Tensor& x, bool /*training*/) {
 
       float* ys = py + (b * channels_ + g * ch_per_g) * hw;
       for (std::int64_t c = 0; c < ch_per_g; ++c) {
-        const float gc = pg[g * ch_per_g + c];
-        const float bc = pb[g * ch_per_g + c];
-        for (std::int64_t i = 0; i < hw; ++i) {
-          const float xhat =
-              (xs[c * hw + i] - static_cast<float>(mean)) * inv_std;
-          ys[c * hw + i] = gc * xhat + bc;
-        }
+        kernels.norm_affine(xs + c * hw, static_cast<float>(mean), inv_std,
+                            pg[g * ch_per_g + c], pb[g * ch_per_g + c],
+                            ys + c * hw, hw);
       }
     }
   }
@@ -140,22 +136,18 @@ Tensor LayerNorm::Forward(const Tensor& x, bool /*training*/) {
   float* py = y.data();
   const float* pg = gamma_.value.data();
   const float* pb = beta_.value.data();
+  const simd::KernelTable& kernels = simd::ActiveKernels();
   for (std::int64_t r = 0; r < rows; ++r) {
     const float* xs = px + r * dim_;
     double sum = 0.0, sumsq = 0.0;
-    for (std::int64_t i = 0; i < dim_; ++i) {
-      sum += xs[i];
-      sumsq += static_cast<double>(xs[i]) * xs[i];
-    }
+    kernels.moments(xs, dim_, &sum, &sumsq);
     const double mean = sum / dim_;
     const double var = sumsq / dim_ - mean * mean;
     const float inv_std = static_cast<float>(1.0 / std::sqrt(var + eps_));
     cached_mean_[r] = static_cast<float>(mean);
     cached_inv_std_[r] = inv_std;
-    float* ys = py + r * dim_;
-    for (std::int64_t i = 0; i < dim_; ++i) {
-      ys[i] = pg[i] * (xs[i] - static_cast<float>(mean)) * inv_std + pb[i];
-    }
+    kernels.norm_affine_vec(xs, static_cast<float>(mean), inv_std, pg, pb,
+                            py + r * dim_, dim_);
   }
   return y;
 }

@@ -4,32 +4,51 @@
 #include <cstring>
 #include <vector>
 
+#include "tensor/simd/kernels.h"
 #include "util/check.h"
-
-#ifdef _OPENMP
-#include <omp.h>
-#endif
 
 namespace glsc {
 namespace {
 
-// Cache-blocking parameters. The micro-kernel works on MR x NR tiles of C with
-// the K loop innermost over packed panels; sizes are chosen so an MC x KC
-// panel of A (~128 KiB) stays L2-resident.
-constexpr std::int64_t kMC = 128;
+// Cache-blocking parameters. The micro-kernel works on mr x nr tiles of C
+// (tile dims come from the dispatched kernel table) with the K loop innermost
+// over packed panels; sizes are chosen so an MC x KC panel of A (~128 KiB)
+// stays L2-resident.
+constexpr std::int64_t kMC = 132;  // multiple of both 4 and 6 (tile heights)
 constexpr std::int64_t kKC = 256;
 constexpr std::int64_t kNC = 512;
-constexpr std::int64_t kMR = 4;
-constexpr std::int64_t kNR = 8;
 
 // Packs a row-major (possibly transposed) block of A into column-panel order:
-// consecutive kMR-row strips, each strip laid out K-major.
+// consecutive mr-row strips, each strip laid out K-major. Full strips take
+// branch-free contiguous-copy paths; only the ragged edge pays per-element
+// bounds checks and zero padding.
 void PackA(bool trans, const float* a, std::int64_t lda, std::int64_t row0,
-           std::int64_t m, std::int64_t k0, std::int64_t k, float* packed) {
-  for (std::int64_t i = 0; i < m; i += kMR) {
-    const std::int64_t ib = std::min(kMR, m - i);
+           std::int64_t m, std::int64_t k0, std::int64_t k, std::int64_t mr,
+           float* packed) {
+  for (std::int64_t i = 0; i < m; i += mr) {
+    const std::int64_t ib = std::min(mr, m - i);
+    if (ib == mr) {
+      if (trans) {
+        // Source rows are K-major already: one contiguous mr-copy per p.
+        const float* src = a + k0 * lda + row0 + i;
+        for (std::int64_t p = 0; p < k; ++p) {
+          std::memcpy(packed, src, static_cast<std::size_t>(mr) * sizeof(float));
+          packed += mr;
+          src += lda;
+        }
+      } else {
+        // Contiguous reads along each row, strided writes into the strip.
+        for (std::int64_t ii = 0; ii < mr; ++ii) {
+          const float* src = a + (row0 + i + ii) * lda + k0;
+          float* dst = packed + ii;
+          for (std::int64_t p = 0; p < k; ++p) dst[p * mr] = src[p];
+        }
+        packed += k * mr;
+      }
+      continue;
+    }
     for (std::int64_t p = 0; p < k; ++p) {
-      for (std::int64_t ii = 0; ii < kMR; ++ii) {
+      for (std::int64_t ii = 0; ii < mr; ++ii) {
         float v = 0.0f;
         if (ii < ib) {
           const std::int64_t r = row0 + i + ii;
@@ -42,13 +61,34 @@ void PackA(bool trans, const float* a, std::int64_t lda, std::int64_t row0,
   }
 }
 
-// Packs a block of B into row-panel order: consecutive kNR-column strips.
+// Packs a block of B into row-panel order: consecutive nr-column strips.
 void PackB(bool trans, const float* b, std::int64_t ldb, std::int64_t k0,
-           std::int64_t k, std::int64_t col0, std::int64_t n, float* packed) {
-  for (std::int64_t j = 0; j < n; j += kNR) {
-    const std::int64_t jb = std::min(kNR, n - j);
+           std::int64_t k, std::int64_t col0, std::int64_t n, std::int64_t nr,
+           float* packed) {
+  for (std::int64_t j = 0; j < n; j += nr) {
+    const std::int64_t jb = std::min(nr, n - j);
+    if (jb == nr) {
+      if (!trans) {
+        // One contiguous nr-copy per p.
+        const float* src = b + k0 * ldb + col0 + j;
+        for (std::int64_t p = 0; p < k; ++p) {
+          std::memcpy(packed, src, static_cast<std::size_t>(nr) * sizeof(float));
+          packed += nr;
+          src += ldb;
+        }
+      } else {
+        // Contiguous reads along each source row, strided strip writes.
+        for (std::int64_t jj = 0; jj < nr; ++jj) {
+          const float* src = b + (col0 + j + jj) * ldb + k0;
+          float* dst = packed + jj;
+          for (std::int64_t p = 0; p < k; ++p) dst[p * nr] = src[p];
+        }
+        packed += k * nr;
+      }
+      continue;
+    }
     for (std::int64_t p = 0; p < k; ++p) {
-      for (std::int64_t jj = 0; jj < kNR; ++jj) {
+      for (std::int64_t jj = 0; jj < nr; ++jj) {
         float v = 0.0f;
         if (jj < jb) {
           const std::int64_t r = k0 + p;
@@ -61,29 +101,38 @@ void PackB(bool trans, const float* b, std::int64_t ldb, std::int64_t k0,
   }
 }
 
-// kMR x kNR register-tile micro-kernel over a length-k inner product.
-inline void MicroKernel(std::int64_t k, const float* a_panel,
-                        const float* b_panel, float acc[kMR][kNR]) {
-  for (std::int64_t p = 0; p < k; ++p) {
-    const float* arow = a_panel + p * kMR;
-    const float* brow = b_panel + p * kNR;
-    for (std::int64_t i = 0; i < kMR; ++i) {
-      const float av = arow[i];
-      for (std::int64_t j = 0; j < kNR; ++j) {
-        acc[i][j] += av * brow[j];
-      }
-    }
+// Applies the fused epilogue to rows [row0, row0+nrows) x cols
+// [col0, col0+ncols) of C.
+void ApplyEpilogue(const simd::KernelTable& kernels, float* c, std::int64_t ldc,
+                   std::int64_t row0, std::int64_t nrows, std::int64_t col0,
+                   std::int64_t ncols, const float* bias,
+                   GemmEpilogue epilogue) {
+  const bool per_col = epilogue == GemmEpilogue::kBiasCol ||
+                       epilogue == GemmEpilogue::kBiasColSiLU;
+  const int act = (epilogue == GemmEpilogue::kBiasRowSiLU ||
+                   epilogue == GemmEpilogue::kBiasColSiLU)
+                      ? simd::kActSiLU
+                      : simd::kActNone;
+  const float* col_bias = per_col ? bias + col0 : nullptr;
+  for (std::int64_t r = 0; r < nrows; ++r) {
+    kernels.bias_act_row(c + (row0 + r) * ldc + col0, ncols,
+                         per_col ? 0.0f : bias[row0 + r], col_bias, act);
   }
 }
 
 }  // namespace
 
-void Gemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
-          std::int64_t k, float alpha, const float* a, std::int64_t lda,
-          const float* b, std::int64_t ldb, float beta, float* c,
-          std::int64_t ldc) {
+void GemmEx(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
+            std::int64_t k, float alpha, const float* a, std::int64_t lda,
+            const float* b, std::int64_t ldb, float beta, float* c,
+            std::int64_t ldc, const float* bias, GemmEpilogue epilogue) {
   GLSC_CHECK(m >= 0 && n >= 0 && k >= 0);
+  GLSC_CHECK(epilogue == GemmEpilogue::kNone || bias != nullptr);
   if (m == 0 || n == 0) return;
+
+  const simd::KernelTable& kernels = simd::ActiveKernels();
+  const std::int64_t mr = kernels.mr;
+  const std::int64_t nr = kernels.nr;
 
   // Scale C by beta once, up front.
   if (beta == 0.0f) {
@@ -95,53 +144,69 @@ void Gemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
       for (std::int64_t j = 0; j < n; ++j) c[i * ldc + j] *= beta;
     }
   }
-  if (k == 0 || alpha == 0.0f) return;
+  if (k == 0 || alpha == 0.0f) {
+    // The product contributes nothing, but the epilogue still applies.
+    if (epilogue != GemmEpilogue::kNone) {
+      ApplyEpilogue(kernels, c, ldc, 0, m, 0, n, bias, epilogue);
+    }
+    return;
+  }
 
-  const std::int64_t mc_panels = (m + kMC - 1) / kMC;
+  // Packing buffers, padded to full micro-tiles and 64-byte aligned so the
+  // micro-kernel's 32-byte panel loads never split cache lines. BLIS loop
+  // order (NC -> KC -> MC) packs each B block exactly once and reuses it
+  // across every M panel; A panels are repacked per NC block, which only
+  // costs when n > kNC.
+  const std::size_t a_elems =
+      static_cast<std::size_t>(((kMC + mr - 1) / mr) * mr * kKC);
+  const std::size_t b_elems =
+      static_cast<std::size_t>(((kNC + nr - 1) / nr) * nr * kKC);
+  std::vector<float> pack_storage(a_elems + b_elems + 32);
+  auto align64 = [](float* p) {
+    return reinterpret_cast<float*>(
+        (reinterpret_cast<std::uintptr_t>(p) + 63) & ~std::uintptr_t{63});
+  };
+  float* const packed_a = align64(pack_storage.data());
+  float* const packed_b = align64(packed_a + a_elems);
 
-#ifdef _OPENMP
-#pragma omp parallel
-#endif
-  {
-    // Per-thread packing buffers; padded to full micro-tiles.
-    std::vector<float> packed_a(static_cast<std::size_t>(
-        ((kMC + kMR - 1) / kMR) * kMR * kKC));
-    std::vector<float> packed_b(static_cast<std::size_t>(
-        ((kNC + kNR - 1) / kNR) * kNR * kKC));
+  for (std::int64_t j0 = 0; j0 < n; j0 += kNC) {
+    const std::int64_t nb = std::min(kNC, n - j0);
+    for (std::int64_t p0 = 0; p0 < k; p0 += kKC) {
+      const std::int64_t kb = std::min(kKC, k - p0);
+      // Once the last K panel has been accumulated, a micro-tile of C is
+      // final and the epilogue can run on it while it is still cache-hot.
+      const bool final_panel = p0 + kb == k;
+      PackB(trans_b, b, ldb, p0, kb, j0, nb, nr, packed_b);
+      for (std::int64_t i0 = 0; i0 < m; i0 += kMC) {
+        const std::int64_t mb = std::min(kMC, m - i0);
+        PackA(trans_a, a, lda, i0, mb, p0, kb, mr, packed_a);
 
-#ifdef _OPENMP
-#pragma omp for schedule(dynamic, 1)
-#endif
-    for (std::int64_t mp = 0; mp < mc_panels; ++mp) {
-      const std::int64_t i0 = mp * kMC;
-      const std::int64_t mb = std::min(kMC, m - i0);
-      for (std::int64_t p0 = 0; p0 < k; p0 += kKC) {
-        const std::int64_t kb = std::min(kKC, k - p0);
-        PackA(trans_a, a, lda, i0, mb, p0, kb, packed_a.data());
-        for (std::int64_t j0 = 0; j0 < n; j0 += kNC) {
-          const std::int64_t nb = std::min(kNC, n - j0);
-          PackB(trans_b, b, ldb, p0, kb, j0, nb, packed_b.data());
-
-          for (std::int64_t i = 0; i < mb; i += kMR) {
-            const std::int64_t ib = std::min(kMR, mb - i);
-            const float* a_panel = packed_a.data() + (i / kMR) * kb * kMR;
-            for (std::int64_t j = 0; j < nb; j += kNR) {
-              const std::int64_t jb = std::min(kNR, nb - j);
-              const float* b_panel = packed_b.data() + (j / kNR) * kb * kNR;
-              float acc[kMR][kNR] = {};
-              MicroKernel(kb, a_panel, b_panel, acc);
-              for (std::int64_t ii = 0; ii < ib; ++ii) {
-                float* crow = c + (i0 + i + ii) * ldc + j0 + j;
-                for (std::int64_t jj = 0; jj < jb; ++jj) {
-                  crow[jj] += alpha * acc[ii][jj];
-                }
-              }
+        for (std::int64_t i = 0; i < mb; i += mr) {
+          const std::int64_t ib = std::min(mr, mb - i);
+          const float* a_panel = packed_a + (i / mr) * kb * mr;
+          for (std::int64_t j = 0; j < nb; j += nr) {
+            const std::int64_t jb = std::min(nr, nb - j);
+            const float* b_panel = packed_b + (j / nr) * kb * nr;
+            float* c_tile = c + (i0 + i) * ldc + j0 + j;
+            kernels.gemm_micro(kb, a_panel, b_panel, alpha, c_tile, ldc, ib,
+                               jb);
+            if (final_panel && epilogue != GemmEpilogue::kNone) {
+              ApplyEpilogue(kernels, c, ldc, i0 + i, ib, j0 + j, jb, bias,
+                            epilogue);
             }
           }
         }
       }
     }
   }
+}
+
+void Gemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
+          std::int64_t k, float alpha, const float* a, std::int64_t lda,
+          const float* b, std::int64_t ldb, float beta, float* c,
+          std::int64_t ldc) {
+  GemmEx(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc,
+         nullptr, GemmEpilogue::kNone);
 }
 
 void MatMul(const float* a, const float* b, float* c, std::int64_t m,

@@ -1,0 +1,45 @@
+// Runtime CPU-feature dispatch for the SIMD compute backend.
+//
+// Every hot kernel (GEMM micro-kernel, activations, softmax, normalization
+// moments, GEMM epilogues, …) exists in up to four variants — portable
+// scalar, SSE2, AVX2+FMA and AVX-512 — collected in a KernelTable
+// (kernels.h). The variant is chosen once, at first use, from CPUID plus two
+// environment overrides:
+//
+//   GLSC_FORCE_SCALAR=1      force the scalar reference kernels
+//   GLSC_ISA=scalar|sse2|avx2|avx512  cap the dispatch level explicitly
+//
+// An override can only lower the level below what the CPU supports; asking
+// for AVX2 on a non-AVX2 host silently falls back to the best available.
+// Tests use ScopedIsaOverride to exercise every level in-process.
+#pragma once
+
+namespace glsc::simd {
+
+enum class IsaLevel { kScalar = 0, kSSE2 = 1, kAVX2 = 2, kAVX512 = 3 };
+
+// Highest level this CPU supports (ignores environment overrides).
+IsaLevel DetectedIsa();
+
+// Level the dispatcher resolves to: min(DetectedIsa, env caps), unless an
+// override is active, in which case the override wins.
+IsaLevel ActiveIsa();
+
+const char* IsaName(IsaLevel level);
+
+// RAII pin of the dispatch level, for tests and benchmarks that compare
+// levels within one process. Requested levels above DetectedIsa() are
+// clamped. Not thread-safe: establish overrides from a single thread only.
+class ScopedIsaOverride {
+ public:
+  explicit ScopedIsaOverride(IsaLevel level);
+  ~ScopedIsaOverride();
+  ScopedIsaOverride(const ScopedIsaOverride&) = delete;
+  ScopedIsaOverride& operator=(const ScopedIsaOverride&) = delete;
+
+ private:
+  bool had_previous_;
+  IsaLevel previous_;
+};
+
+}  // namespace glsc::simd

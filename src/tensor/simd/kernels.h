@@ -1,0 +1,74 @@
+// Kernel registry for the SIMD compute backend. One KernelTable per dispatch
+// level; callers grab ActiveKernels() once per operation and call through
+// plain function pointers, so a kernel invocation costs one indirect call on
+// top of the work itself.
+//
+// Numerics contract: variants of the same kernel may differ in rounding
+// (vector exp is a polynomial, reductions re-associate), so outputs are only
+// approximately equal across levels. Anything that must be bit-exact across
+// levels (the entropy coders) stays in integer code outside this table.
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/simd/dispatch.h"
+
+namespace glsc::simd {
+
+// Activation selector for the fused GEMM epilogue.
+enum : int { kActNone = 0, kActSiLU = 1 };
+
+struct KernelTable {
+  IsaLevel level;
+
+  // ---- GEMM register-tile micro-kernel ----
+  // Panels are packed in strips of `mr` rows of A / `nr` columns of B,
+  // K-major within a strip (see PackA/PackB in tensor/gemm.cc).
+  // Computes C[0..ib)x[0..jb) += alpha * A_panel^T B_panel over kb terms.
+  std::int64_t mr;
+  std::int64_t nr;
+  void (*gemm_micro)(std::int64_t kb, const float* a_panel,
+                     const float* b_panel, float alpha, float* c,
+                     std::int64_t ldc, std::int64_t ib, std::int64_t jb);
+
+  // ---- elementwise / rowwise ----
+  // y[i] = x[i] * sigmoid(x[i])
+  void (*silu_fwd)(const float* x, float* y, std::int64_t n);
+  // out[i] = g[i] * s * (1 + x[i] * (1 - s)), s = sigmoid(x[i])
+  void (*silu_bwd)(const float* x, const float* g, float* out, std::int64_t n);
+  // In-place numerically-stable softmax of one row.
+  void (*softmax_row)(float* row, std::int64_t n);
+  // sum(x) and sum(x^2) accumulated in double precision.
+  void (*moments)(const float* x, std::int64_t n, double* sum, double* sumsq);
+  // y[i] = gamma * (x[i] - mean) * inv_std + beta
+  void (*norm_affine)(const float* x, float mean, float inv_std, float gamma,
+                      float beta, float* y, std::int64_t n);
+  // y[i] = gamma[i] * (x[i] - mean) * inv_std + beta[i]
+  void (*norm_affine_vec)(const float* x, float mean, float inv_std,
+                          const float* gamma, const float* beta, float* y,
+                          std::int64_t n);
+  // GEMM epilogue on a finished row segment of C: adds col_bias[j] when
+  // col_bias != nullptr (per-column bias), otherwise the broadcast row_bias;
+  // then applies the selected activation in place.
+  void (*bias_act_row)(float* row, std::int64_t n, float row_bias,
+                       const float* col_bias, int act);
+};
+
+// Table for the current dispatch level (env overrides + ScopedIsaOverride
+// applied); one relaxed atomic load per call.
+const KernelTable& ActiveKernels();
+
+// Table for a specific level, clamped to DetectedIsa(). Levels that only
+// implement a subset of kernels (SSE2) inherit the scalar entries.
+const KernelTable& KernelsFor(IsaLevel level);
+
+// Raw per-level tables, defined in kernels_{scalar,sse2,avx2,avx512}.cc.
+// The SIMD getters return nullptr when the target ISA was not compiled in;
+// unimplemented entries within a table are nullptr and are backfilled from
+// the next level down by KernelsFor() (scalar -> sse2 -> avx2 -> avx512).
+const KernelTable* GetScalarTable();
+const KernelTable* GetSse2Table();
+const KernelTable* GetAvx2Table();
+const KernelTable* GetAvx512Table();
+
+}  // namespace glsc::simd

@@ -1,0 +1,319 @@
+// AVX2+FMA kernels. This translation unit is compiled with -mavx2 -mfma (see
+// CMakeLists.txt); nothing here may be called unless runtime dispatch
+// established AVX2 support, so keeping the flags file-local is safe — the
+// pattern follows c-blosc2's per-ISA shuffle units.
+#include "tensor/simd/kernels.h"
+
+#if defined(__AVX2__) && defined(__FMA__)
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cmath>
+#endif
+
+namespace glsc::simd {
+
+#if defined(__AVX2__) && defined(__FMA__)
+
+namespace {
+
+constexpr std::int64_t kMr = 6;
+constexpr std::int64_t kNr = 16;
+
+// 8-lane expf, Cephes polynomial (as popularized by avx_mathfun): relative
+// error ~2e-7 over the clamped range, which is well inside every consumer's
+// tolerance (softmax renormalizes; SiLU feeds gradcheck at eps 1e-2).
+inline __m256 Exp256(__m256 x) {
+  const __m256 hi = _mm256_set1_ps(88.3762626647949f);
+  const __m256 lo = _mm256_set1_ps(-88.3762626647949f);
+  const __m256 log2e = _mm256_set1_ps(1.44269504088896341f);
+  const __m256 c1 = _mm256_set1_ps(0.693359375f);
+  const __m256 c2 = _mm256_set1_ps(-2.12194440e-4f);
+  const __m256 one = _mm256_set1_ps(1.0f);
+
+  x = _mm256_min_ps(_mm256_max_ps(x, lo), hi);
+  __m256 fx = _mm256_fmadd_ps(x, log2e, _mm256_set1_ps(0.5f));
+  fx = _mm256_floor_ps(fx);
+  // x -= fx * ln2, split into a high and a low part for extra precision.
+  x = _mm256_fnmadd_ps(fx, c1, x);
+  x = _mm256_fnmadd_ps(fx, c2, x);
+
+  const __m256 z = _mm256_mul_ps(x, x);
+  __m256 y = _mm256_set1_ps(1.9875691500e-4f);
+  y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(1.3981999507e-3f));
+  y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(8.3334519073e-3f));
+  y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(4.1665795894e-2f));
+  y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(1.6666665459e-1f));
+  y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(5.0000001201e-1f));
+  y = _mm256_fmadd_ps(y, z, x);
+  y = _mm256_add_ps(y, one);
+
+  // 2^fx via exponent-field construction.
+  __m256i n = _mm256_cvttps_epi32(fx);
+  n = _mm256_add_epi32(n, _mm256_set1_epi32(0x7f));
+  n = _mm256_slli_epi32(n, 23);
+  return _mm256_mul_ps(y, _mm256_castsi256_ps(n));
+}
+
+// sigmoid(x) = 1 / (1 + exp(-x))
+inline __m256 Sigmoid256(__m256 x) {
+  const __m256 one = _mm256_set1_ps(1.0f);
+  const __m256 e = Exp256(_mm256_sub_ps(_mm256_setzero_ps(), x));
+  return _mm256_div_ps(one, _mm256_add_ps(one, e));
+}
+
+inline float SigmoidScalar(float x) { return 1.0f / (1.0f + std::exp(-x)); }
+
+inline float HSum256(__m256 v) {
+  const __m128 s =
+      _mm_add_ps(_mm256_castps256_ps128(v), _mm256_extractf128_ps(v, 1));
+  const __m128 t = _mm_add_ps(s, _mm_movehl_ps(s, s));
+  const __m128 u = _mm_add_ss(t, _mm_shuffle_ps(t, t, 1));
+  return _mm_cvtss_f32(u);
+}
+
+inline double HSum256d(__m256d v) {
+  const __m128d s =
+      _mm_add_pd(_mm256_castpd256_pd128(v), _mm256_extractf128_pd(v, 1));
+  return _mm_cvtsd_f64(_mm_add_sd(s, _mm_unpackhi_pd(s, s)));
+}
+
+// 6x16 register tile: 12 accumulator ymm registers, two B loads and one A
+// broadcast live per k step — 15 of the 16 architectural registers.
+void GemmMicroAvx2(std::int64_t kb, const float* a_panel, const float* b_panel,
+                   float alpha, float* c, std::int64_t ldc, std::int64_t ib,
+                   std::int64_t jb) {
+  __m256 acc[kMr][2];
+  for (std::int64_t i = 0; i < kMr; ++i) {
+    acc[i][0] = _mm256_setzero_ps();
+    acc[i][1] = _mm256_setzero_ps();
+  }
+  // Warm the C tile while the k-loop runs; the write-back below touches it.
+  for (std::int64_t i = 0; i < ib; ++i) {
+    _mm_prefetch(reinterpret_cast<const char*>(c + i * ldc), _MM_HINT_T0);
+    _mm_prefetch(reinterpret_cast<const char*>(c + i * ldc + 15), _MM_HINT_T0);
+  }
+  // Two k-steps per iteration: halves the loop-carried overhead and lets the
+  // scheduler interleave the two independent FMA waves.
+  std::int64_t p = 0;
+  for (; p + 2 <= kb; p += 2) {
+    const float* arow = a_panel + p * kMr;
+    const float* brow = b_panel + p * kNr;
+    _mm_prefetch(reinterpret_cast<const char*>(brow + 8 * kNr), _MM_HINT_T0);
+    _mm_prefetch(reinterpret_cast<const char*>(brow + 8 * kNr + 16),
+                 _MM_HINT_T0);
+    const __m256 b0 = _mm256_load_ps(brow);
+    const __m256 b1 = _mm256_load_ps(brow + 8);
+    for (std::int64_t i = 0; i < kMr; ++i) {
+      const __m256 av = _mm256_broadcast_ss(arow + i);
+      acc[i][0] = _mm256_fmadd_ps(av, b0, acc[i][0]);
+      acc[i][1] = _mm256_fmadd_ps(av, b1, acc[i][1]);
+    }
+    const __m256 b2 = _mm256_load_ps(brow + kNr);
+    const __m256 b3 = _mm256_load_ps(brow + kNr + 8);
+    for (std::int64_t i = 0; i < kMr; ++i) {
+      const __m256 av = _mm256_broadcast_ss(arow + kMr + i);
+      acc[i][0] = _mm256_fmadd_ps(av, b2, acc[i][0]);
+      acc[i][1] = _mm256_fmadd_ps(av, b3, acc[i][1]);
+    }
+  }
+  if (p < kb) {
+    const float* arow = a_panel + p * kMr;
+    const __m256 b0 = _mm256_load_ps(b_panel + p * kNr);
+    const __m256 b1 = _mm256_load_ps(b_panel + p * kNr + 8);
+    for (std::int64_t i = 0; i < kMr; ++i) {
+      const __m256 av = _mm256_broadcast_ss(arow + i);
+      acc[i][0] = _mm256_fmadd_ps(av, b0, acc[i][0]);
+      acc[i][1] = _mm256_fmadd_ps(av, b1, acc[i][1]);
+    }
+  }
+  const __m256 valpha = _mm256_set1_ps(alpha);
+  if (ib == kMr && jb == kNr) {
+    for (std::int64_t i = 0; i < kMr; ++i) {
+      float* crow = c + i * ldc;
+      _mm256_storeu_ps(
+          crow, _mm256_fmadd_ps(valpha, acc[i][0], _mm256_loadu_ps(crow)));
+      _mm256_storeu_ps(crow + 8, _mm256_fmadd_ps(valpha, acc[i][1],
+                                                 _mm256_loadu_ps(crow + 8)));
+    }
+    return;
+  }
+  alignas(32) float buf[kMr][kNr];
+  for (std::int64_t i = 0; i < kMr; ++i) {
+    _mm256_store_ps(buf[i], acc[i][0]);
+    _mm256_store_ps(buf[i] + 8, acc[i][1]);
+  }
+  for (std::int64_t i = 0; i < ib; ++i) {
+    float* crow = c + i * ldc;
+    for (std::int64_t j = 0; j < jb; ++j) crow[j] += alpha * buf[i][j];
+  }
+}
+
+void SiluFwdAvx2(const float* x, float* y, std::int64_t n) {
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 v = _mm256_loadu_ps(x + i);
+    _mm256_storeu_ps(y + i, _mm256_mul_ps(v, Sigmoid256(v)));
+  }
+  for (; i < n; ++i) y[i] = x[i] * SigmoidScalar(x[i]);
+}
+
+void SiluBwdAvx2(const float* x, const float* g, float* out, std::int64_t n) {
+  const __m256 one = _mm256_set1_ps(1.0f);
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 v = _mm256_loadu_ps(x + i);
+    const __m256 s = Sigmoid256(v);
+    // g * s * (1 + x * (1 - s))
+    const __m256 t = _mm256_fmadd_ps(v, _mm256_sub_ps(one, s), one);
+    _mm256_storeu_ps(out + i,
+                     _mm256_mul_ps(_mm256_loadu_ps(g + i), _mm256_mul_ps(s, t)));
+  }
+  for (; i < n; ++i) {
+    const float s = SigmoidScalar(x[i]);
+    out[i] = g[i] * s * (1.0f + x[i] * (1.0f - s));
+  }
+}
+
+void SoftmaxRowAvx2(float* row, std::int64_t n) {
+  std::int64_t i = 0;
+  float mx;
+  if (n >= 8) {
+    __m256 vmax = _mm256_loadu_ps(row);
+    for (i = 8; i + 8 <= n; i += 8) {
+      vmax = _mm256_max_ps(vmax, _mm256_loadu_ps(row + i));
+    }
+    const __m128 m4 = _mm_max_ps(_mm256_castps256_ps128(vmax),
+                                 _mm256_extractf128_ps(vmax, 1));
+    const __m128 m2 = _mm_max_ps(m4, _mm_movehl_ps(m4, m4));
+    mx = _mm_cvtss_f32(_mm_max_ss(m2, _mm_shuffle_ps(m2, m2, 1)));
+  } else {
+    mx = row[0];
+    i = 1;
+  }
+  for (; i < n; ++i) mx = std::max(mx, row[i]);
+
+  const __m256 vmx = _mm256_set1_ps(mx);
+  __m256 vsum = _mm256_setzero_ps();
+  double sum = 0.0;
+  for (i = 0; i + 8 <= n; i += 8) {
+    const __m256 e = Exp256(_mm256_sub_ps(_mm256_loadu_ps(row + i), vmx));
+    _mm256_storeu_ps(row + i, e);
+    vsum = _mm256_add_ps(vsum, e);
+  }
+  sum += static_cast<double>(HSum256(vsum));
+  for (; i < n; ++i) {
+    row[i] = std::exp(row[i] - mx);
+    sum += row[i];
+  }
+  const __m256 vinv = _mm256_set1_ps(static_cast<float>(1.0 / sum));
+  for (i = 0; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(row + i, _mm256_mul_ps(_mm256_loadu_ps(row + i), vinv));
+  }
+  const float inv = static_cast<float>(1.0 / sum);
+  for (; i < n; ++i) row[i] *= inv;
+}
+
+void MomentsAvx2(const float* x, std::int64_t n, double* sum, double* sumsq) {
+  __m256d s0 = _mm256_setzero_pd(), s1 = _mm256_setzero_pd();
+  __m256d q0 = _mm256_setzero_pd(), q1 = _mm256_setzero_pd();
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 v = _mm256_loadu_ps(x + i);
+    const __m256d lo = _mm256_cvtps_pd(_mm256_castps256_ps128(v));
+    const __m256d hi = _mm256_cvtps_pd(_mm256_extractf128_ps(v, 1));
+    s0 = _mm256_add_pd(s0, lo);
+    s1 = _mm256_add_pd(s1, hi);
+    q0 = _mm256_fmadd_pd(lo, lo, q0);
+    q1 = _mm256_fmadd_pd(hi, hi, q1);
+  }
+  double s = HSum256d(_mm256_add_pd(s0, s1));
+  double q = HSum256d(_mm256_add_pd(q0, q1));
+  for (; i < n; ++i) {
+    s += x[i];
+    q += static_cast<double>(x[i]) * x[i];
+  }
+  *sum = s;
+  *sumsq = q;
+}
+
+void NormAffineAvx2(const float* x, float mean, float inv_std, float gamma,
+                    float beta, float* y, std::int64_t n) {
+  const __m256 vmean = _mm256_set1_ps(mean);
+  const __m256 vinv = _mm256_set1_ps(inv_std);
+  const __m256 vgamma = _mm256_set1_ps(gamma);
+  const __m256 vbeta = _mm256_set1_ps(beta);
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 xhat = _mm256_mul_ps(
+        _mm256_sub_ps(_mm256_loadu_ps(x + i), vmean), vinv);
+    _mm256_storeu_ps(y + i, _mm256_fmadd_ps(vgamma, xhat, vbeta));
+  }
+  for (; i < n; ++i) y[i] = gamma * ((x[i] - mean) * inv_std) + beta;
+}
+
+void NormAffineVecAvx2(const float* x, float mean, float inv_std,
+                       const float* gamma, const float* beta, float* y,
+                       std::int64_t n) {
+  const __m256 vmean = _mm256_set1_ps(mean);
+  const __m256 vinv = _mm256_set1_ps(inv_std);
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 xhat = _mm256_mul_ps(
+        _mm256_sub_ps(_mm256_loadu_ps(x + i), vmean), vinv);
+    _mm256_storeu_ps(y + i, _mm256_fmadd_ps(_mm256_loadu_ps(gamma + i), xhat,
+                                            _mm256_loadu_ps(beta + i)));
+  }
+  for (; i < n; ++i) y[i] = gamma[i] * ((x[i] - mean) * inv_std) + beta[i];
+}
+
+void BiasActRowAvx2(float* row, std::int64_t n, float row_bias,
+                    const float* col_bias, int act) {
+  std::int64_t i = 0;
+  if (col_bias != nullptr) {
+    for (; i + 8 <= n; i += 8) {
+      _mm256_storeu_ps(row + i, _mm256_add_ps(_mm256_loadu_ps(row + i),
+                                              _mm256_loadu_ps(col_bias + i)));
+    }
+    for (; i < n; ++i) row[i] += col_bias[i];
+  } else {
+    const __m256 vb = _mm256_set1_ps(row_bias);
+    for (; i + 8 <= n; i += 8) {
+      _mm256_storeu_ps(row + i, _mm256_add_ps(_mm256_loadu_ps(row + i), vb));
+    }
+    for (; i < n; ++i) row[i] += row_bias;
+  }
+  if (act == kActSiLU) {
+    for (i = 0; i + 8 <= n; i += 8) {
+      const __m256 v = _mm256_loadu_ps(row + i);
+      _mm256_storeu_ps(row + i, _mm256_mul_ps(v, Sigmoid256(v)));
+    }
+    for (; i < n; ++i) row[i] *= SigmoidScalar(row[i]);
+  }
+}
+
+const KernelTable kAvx2Table = {
+    IsaLevel::kAVX2,
+    kMr,
+    kNr,
+    GemmMicroAvx2,
+    SiluFwdAvx2,
+    SiluBwdAvx2,
+    SoftmaxRowAvx2,
+    MomentsAvx2,
+    NormAffineAvx2,
+    NormAffineVecAvx2,
+    BiasActRowAvx2,
+};
+
+}  // namespace
+
+const KernelTable* GetAvx2Table() { return &kAvx2Table; }
+
+#else  // !(__AVX2__ && __FMA__)
+
+const KernelTable* GetAvx2Table() { return nullptr; }
+
+#endif
+
+}  // namespace glsc::simd

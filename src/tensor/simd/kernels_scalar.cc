@@ -1,0 +1,119 @@
+// Portable scalar reference kernels. These define the semantics every SIMD
+// variant approximates; they are also the GLSC_FORCE_SCALAR fallback and the
+// baseline the micro-benchmarks compare against.
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/simd/kernels.h"
+
+namespace glsc::simd {
+namespace {
+
+constexpr std::int64_t kMr = 4;
+constexpr std::int64_t kNr = 8;
+
+inline float Sigmoid(float x) { return 1.0f / (1.0f + std::exp(-x)); }
+
+void GemmMicroScalar(std::int64_t kb, const float* a_panel,
+                     const float* b_panel, float alpha, float* c,
+                     std::int64_t ldc, std::int64_t ib, std::int64_t jb) {
+  float acc[kMr][kNr] = {};
+  for (std::int64_t p = 0; p < kb; ++p) {
+    const float* arow = a_panel + p * kMr;
+    const float* brow = b_panel + p * kNr;
+    for (std::int64_t i = 0; i < kMr; ++i) {
+      const float av = arow[i];
+      for (std::int64_t j = 0; j < kNr; ++j) {
+        acc[i][j] += av * brow[j];
+      }
+    }
+  }
+  for (std::int64_t i = 0; i < ib; ++i) {
+    float* crow = c + i * ldc;
+    for (std::int64_t j = 0; j < jb; ++j) {
+      crow[j] += alpha * acc[i][j];
+    }
+  }
+}
+
+void SiluFwdScalar(const float* x, float* y, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) y[i] = x[i] * Sigmoid(x[i]);
+}
+
+void SiluBwdScalar(const float* x, const float* g, float* out,
+                   std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float s = Sigmoid(x[i]);
+    out[i] = g[i] * s * (1.0f + x[i] * (1.0f - s));
+  }
+}
+
+void SoftmaxRowScalar(float* row, std::int64_t n) {
+  float mx = row[0];
+  for (std::int64_t i = 1; i < n; ++i) mx = std::max(mx, row[i]);
+  double sum = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    row[i] = std::exp(row[i] - mx);
+    sum += row[i];
+  }
+  const float inv = static_cast<float>(1.0 / sum);
+  for (std::int64_t i = 0; i < n; ++i) row[i] *= inv;
+}
+
+void MomentsScalar(const float* x, std::int64_t n, double* sum,
+                   double* sumsq) {
+  double s = 0.0, sq = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    s += x[i];
+    sq += static_cast<double>(x[i]) * x[i];
+  }
+  *sum = s;
+  *sumsq = sq;
+}
+
+void NormAffineScalar(const float* x, float mean, float inv_std, float gamma,
+                      float beta, float* y, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) {
+    y[i] = gamma * ((x[i] - mean) * inv_std) + beta;
+  }
+}
+
+void NormAffineVecScalar(const float* x, float mean, float inv_std,
+                         const float* gamma, const float* beta, float* y,
+                         std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) {
+    y[i] = gamma[i] * ((x[i] - mean) * inv_std) + beta[i];
+  }
+}
+
+void BiasActRowScalar(float* row, std::int64_t n, float row_bias,
+                      const float* col_bias, int act) {
+  if (col_bias != nullptr) {
+    for (std::int64_t j = 0; j < n; ++j) row[j] += col_bias[j];
+  } else {
+    for (std::int64_t j = 0; j < n; ++j) row[j] += row_bias;
+  }
+  if (act == kActSiLU) {
+    for (std::int64_t j = 0; j < n; ++j) row[j] *= Sigmoid(row[j]);
+  }
+}
+
+const KernelTable kScalarTable = {
+    IsaLevel::kScalar,
+    kMr,
+    kNr,
+    GemmMicroScalar,
+    SiluFwdScalar,
+    SiluBwdScalar,
+    SoftmaxRowScalar,
+    MomentsScalar,
+    NormAffineScalar,
+    NormAffineVecScalar,
+    BiasActRowScalar,
+};
+
+}  // namespace
+
+const KernelTable* GetScalarTable() { return &kScalarTable; }
+
+}  // namespace glsc::simd

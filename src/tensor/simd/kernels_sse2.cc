@@ -1,0 +1,86 @@
+// SSE2 GEMM micro-kernel. SSE2 is the x86-64 baseline, so this file needs no
+// special compile flags; it exists as the middle dispatch rung for CPUs
+// without AVX2 and as an extra comparison point for the kernel tests.
+// Elementwise kernels at this level inherit the scalar implementations (the
+// transcendental-heavy ops only pay off with 8-wide FMA).
+#include "tensor/simd/kernels.h"
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
+namespace glsc::simd {
+
+#if defined(__SSE2__)
+
+namespace {
+
+constexpr std::int64_t kMr = 4;
+constexpr std::int64_t kNr = 8;
+
+void GemmMicroSse2(std::int64_t kb, const float* a_panel, const float* b_panel,
+                   float alpha, float* c, std::int64_t ldc, std::int64_t ib,
+                   std::int64_t jb) {
+  // 4x8 tile: two 4-lane accumulators per row of C.
+  __m128 acc[kMr][2];
+  for (std::int64_t i = 0; i < kMr; ++i) {
+    acc[i][0] = _mm_setzero_ps();
+    acc[i][1] = _mm_setzero_ps();
+  }
+  for (std::int64_t p = 0; p < kb; ++p) {
+    const float* arow = a_panel + p * kMr;
+    const __m128 b0 = _mm_loadu_ps(b_panel + p * kNr);
+    const __m128 b1 = _mm_loadu_ps(b_panel + p * kNr + 4);
+    for (std::int64_t i = 0; i < kMr; ++i) {
+      const __m128 av = _mm_set1_ps(arow[i]);
+      acc[i][0] = _mm_add_ps(acc[i][0], _mm_mul_ps(av, b0));
+      acc[i][1] = _mm_add_ps(acc[i][1], _mm_mul_ps(av, b1));
+    }
+  }
+  const __m128 valpha = _mm_set1_ps(alpha);
+  if (ib == kMr && jb == kNr) {
+    for (std::int64_t i = 0; i < kMr; ++i) {
+      float* crow = c + i * ldc;
+      _mm_storeu_ps(crow, _mm_add_ps(_mm_loadu_ps(crow),
+                                     _mm_mul_ps(valpha, acc[i][0])));
+      _mm_storeu_ps(crow + 4, _mm_add_ps(_mm_loadu_ps(crow + 4),
+                                         _mm_mul_ps(valpha, acc[i][1])));
+    }
+    return;
+  }
+  alignas(16) float buf[kMr][kNr];
+  for (std::int64_t i = 0; i < kMr; ++i) {
+    _mm_store_ps(buf[i], acc[i][0]);
+    _mm_store_ps(buf[i] + 4, acc[i][1]);
+  }
+  for (std::int64_t i = 0; i < ib; ++i) {
+    float* crow = c + i * ldc;
+    for (std::int64_t j = 0; j < jb; ++j) crow[j] += alpha * buf[i][j];
+  }
+}
+
+const KernelTable kSse2Table = {
+    IsaLevel::kSSE2,
+    kMr,
+    kNr,
+    GemmMicroSse2,
+    nullptr,  // silu_fwd
+    nullptr,  // silu_bwd
+    nullptr,  // softmax_row
+    nullptr,  // moments
+    nullptr,  // norm_affine
+    nullptr,  // norm_affine_vec
+    nullptr,  // bias_act_row
+};
+
+}  // namespace
+
+const KernelTable* GetSse2Table() { return &kSse2Table; }
+
+#else  // !defined(__SSE2__)
+
+const KernelTable* GetSse2Table() { return nullptr; }
+
+#endif
+
+}  // namespace glsc::simd
