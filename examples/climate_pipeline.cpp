@@ -1,11 +1,13 @@
 // Climate pipeline: multi-variable compression with a rate-distortion sweep
-// against the rule-based SZ3-like compressor — the workflow a climate-model
-// I/O pipeline would run nightly (the paper's E3SM motivation).
+// against a rule-based compressor — the workflow a climate-model I/O pipeline
+// would run nightly (the paper's E3SM motivation). The comparator runs
+// through the unified codec API, so --codec=sz|zfp switches it.
 //
-// Run:  ./examples/climate_pipeline [--variables=2] [--frames=48]
+// Run:  ./examples/climate_pipeline [--variables=2] [--frames=48] [--codec=sz]
 #include <cstdio>
 
-#include "baselines/sz_like.h"
+#include "api/session.h"
+#include "core/container.h"
 #include "core/glsc_compressor.h"
 #include "core/registry.h"
 #include "data/dataset.h"
@@ -16,6 +18,17 @@
 int main(int argc, char** argv) {
   using namespace glsc;
   Flags flags(argc, argv);
+
+  // Validate the comparator choice before any training starts.
+  const std::string rule_codec = flags.GetString("codec", "sz");
+  auto rule = api::Compressor::Create(rule_codec);
+  if (!rule->capabilities().Supports(api::ErrorBoundMode::kRelative)) {
+    std::fprintf(stderr,
+                 "error: --codec=%s cannot serve as the comparator (needs a "
+                 "relative error bound); use --codec=sz or --codec=zfp\n",
+                 rule_codec.c_str());
+    return 1;
+  }
 
   data::FieldSpec spec;
   spec.variables = flags.GetInt("variables", 2);
@@ -46,8 +59,8 @@ int main(int argc, char** argv) {
                                          "climate_pipeline");
 
   std::printf("\n%-12s %-10s %-12s | %-12s %-12s\n", "bound tau", "GLSC CR",
-              "GLSC NRMSE", "SZ-like CR", "SZ-like NRMSE");
-  baselines::SZLikeCompressor sz;
+              "GLSC NRMSE", (rule_codec + " CR").c_str(),
+              (rule_codec + " NRMSE").c_str());
   for (const double tau : {0.6, 0.3, 0.15, 0.08}) {
     // GLSC over every evaluation window of every variable.
     double sq_err = 0.0;
@@ -68,26 +81,36 @@ int main(int argc, char** argv) {
     const double glsc_cr = points * sizeof(float) / bytes;
     const double glsc_nrmse = std::sqrt(sq_err / points);
 
-    // SZ-like at a bound that lands in a comparable error regime.
-    double sz_sq = 0.0;
-    std::size_t sz_bytes = 0;
+    // Rule-based comparator through the unified API, at a relative bound
+    // that lands in a comparable error regime.
+    api::SessionOptions rule_options;
+    rule_options.bound = {api::ErrorBoundMode::kRelative, tau * 0.02};
+    api::EncodeSession rule_session(rule.get(), dataset.variables(),
+                                    dataset.height(), dataset.width(),
+                                    rule_options);
+    rule_session.Push(dataset.raw());
+    const core::DatasetArchive rule_archive = rule_session.Finish();
+    const Tensor rule_recon = rule_archive.DecompressAll(rule.get());
+    double rule_sq = 0.0;
+    const std::int64_t frame_numel = dataset.height() * dataset.width();
     for (std::int64_t v = 0; v < dataset.variables(); ++v) {
-      Tensor field({dataset.frames(), dataset.height(), dataset.width()});
-      std::copy_n(dataset.raw().data() + v * field.numel(), field.numel(),
-                  field.data());
-      const double range = field.MaxValue() - field.MinValue();
-      const auto stream = sz.Compress(field, tau * 0.02 * range);
-      const Tensor recon = sz.Decompress(stream);
-      sz_bytes += stream.size();
-      for (std::int64_t i = 0; i < field.numel(); ++i) {
-        const double d = (field[i] - recon[i]) / range;
-        sz_sq += d * d;
+      for (std::int64_t t = 0; t < dataset.frames(); ++t) {
+        const float range = dataset.norm(v, t).range;
+        const float* a =
+            dataset.raw().data() + (v * dataset.frames() + t) * frame_numel;
+        const float* b =
+            rule_recon.data() + (v * dataset.frames() + t) * frame_numel;
+        for (std::int64_t i = 0; i < frame_numel; ++i) {
+          const double d = (a[i] - b[i]) / range;
+          rule_sq += d * d;
+        }
       }
     }
-    const double sz_points = static_cast<double>(dataset.raw().numel());
+    const double rule_points = static_cast<double>(dataset.raw().numel());
+    const std::size_t rule_bytes = rule_archive.Serialize().size();
     std::printf("%-12.3g %-10.1f %-12.4e | %-12.1f %-12.4e\n", tau, glsc_cr,
-                glsc_nrmse, sz_points * sizeof(float) / sz_bytes,
-                std::sqrt(sz_sq / sz_points));
+                glsc_nrmse, rule_points * sizeof(float) / rule_bytes,
+                std::sqrt(rule_sq / rule_points));
   }
   std::printf("\n(learned keyframe+diffusion storage wins at equal error — "
               "the paper's Figure 3a in miniature)\n");

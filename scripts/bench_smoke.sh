@@ -1,13 +1,14 @@
 #!/usr/bin/env bash
 # Micro-kernel perf smoke: runs the hot-path benchmarks (GEMM, Conv2d
 # forward, attention forward) and emits BENCH_micro.json so the performance
-# trajectory is tracked across PRs.
+# trajectory is tracked across PRs. With --codec=NAME it additionally runs
+# the unified-API codec throughput smoke (bench_codec_api) for that backend.
 #
 # Usage:
-#   scripts/bench_smoke.sh [extra google-benchmark flags...]
+#   scripts/bench_smoke.sh [--codec=NAME] [extra google-benchmark flags...]
 #
 # Environment:
-#   BUILD_DIR   build tree containing bench_micro_kernels (default: build)
+#   BUILD_DIR   build tree containing the bench binaries (default: build)
 #   OUT         output JSON path (default: BENCH_micro.json)
 #   GLSC_FORCE_SCALAR=1 / GLSC_ISA=...  pin the dispatch level under test
 set -euo pipefail
@@ -16,6 +17,16 @@ cd "$(dirname "$0")/.."
 BUILD_DIR=${BUILD_DIR:-build}
 OUT=${OUT:-BENCH_micro.json}
 BIN="$BUILD_DIR/bench_micro_kernels"
+
+CODEC=""
+ARGS=()
+for arg in "$@"; do
+  case "$arg" in
+    --codec=*) CODEC="${arg#--codec=}" ;;
+    --codec) echo "error: use --codec=NAME" >&2; exit 2 ;;
+    *) ARGS+=("$arg") ;;
+  esac
+done
 
 if [[ ! -x "$BIN" ]]; then
   echo "error: $BIN not found — configure and build first:" >&2
@@ -27,6 +38,15 @@ fi
   --benchmark_filter='BM_Gemm|BM_Conv2dForward|BM_AttentionForward' \
   --benchmark_out="$OUT" \
   --benchmark_out_format=json \
-  "$@"
+  ${ARGS[@]+"${ARGS[@]}"}
 
 echo "wrote $OUT"
+
+if [[ -n "$CODEC" ]]; then
+  CODEC_BIN="$BUILD_DIR/bench_codec_api"
+  if [[ ! -x "$CODEC_BIN" ]]; then
+    echo "error: $CODEC_BIN not found — rebuild first" >&2
+    exit 1
+  fi
+  "$CODEC_BIN" --codec="$CODEC"
+fi

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# One-command PR gate: configure, build, and run the full ctest suite (native
+# + _scalar registrations) with a nonzero exit on any failure.
+#
+# Usage:
+#   scripts/check.sh [-j N] [extra ctest args...]
+#
+# Environment:
+#   BUILD_DIR    build tree (default: build)
+#   BUILD_TYPE   CMake build type (default: Release)
+#   JOBS         parallelism for build + ctest (default: nproc)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build}
+BUILD_TYPE=${BUILD_TYPE:-Release}
+JOBS=${JOBS:-$(nproc)}
+
+if [[ "${1:-}" == "-j" ]]; then
+  JOBS="$2"
+  shift 2
+fi
+
+echo "== configure ($BUILD_TYPE) =="
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE="$BUILD_TYPE"
+
+echo "== build (-j$JOBS) =="
+cmake --build "$BUILD_DIR" -j"$JOBS"
+
+echo "== test =="
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$JOBS" "$@"
+
+echo "== OK =="

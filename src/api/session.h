@@ -1,0 +1,124 @@
+// Streaming compression sessions over the unified codec API.
+//
+// Facilities ingest continuous sensor-field streams far longer than one
+// window (LZ-style detectors, climate model output, ...), so the session API
+// accepts arbitrary-length [V, T, H, W] streams chunk by chunk:
+//
+//   EncodeSession session(codec, V, H, W, options);
+//   while (producer.HasFrames()) session.Push(producer.NextChunk());
+//   core::DatasetArchive archive = session.Finish();
+//
+// The session owns the bookkeeping every caller used to hand-roll: per-frame
+// normalization (identical to data::SequenceDataset's), cutting the stream
+// into codec-window-sized records, padding the final partial window (tail
+// frames replicate the last real frame; the record stores the true length),
+// and fanning independent windows out over the global ThreadPool when worker
+// clones are available. Chunk boundaries never change the output: pushing a
+// stream frame-by-frame or all at once yields byte-identical archives.
+#pragma once
+
+#include <vector>
+
+#include "api/compressor.h"
+#include "core/container.h"
+
+namespace glsc::api {
+
+struct SessionOptions {
+  // Bound forwarded to every CompressWindow call; mode must be supported by
+  // the codec (see Capabilities::bound_modes).
+  ErrorBound bound;
+  // Total workers compressing windows concurrently. Values > 1 make the
+  // session Clone() the codec (model instances are not thread-safe); windows
+  // are then buffered and flushed in deterministic batches.
+  std::int64_t parallelism = 1;
+  // Alternative to `parallelism` when the caller already holds clones (e.g.
+  // loaded from one artifact): borrowed extra workers, used alongside the
+  // primary codec. The caller keeps them alive until Finish().
+  std::vector<Compressor*> extra_workers;
+};
+
+class EncodeSession {
+ public:
+  // Stream geometry is fixed at construction; T is open-ended. `codec` is
+  // borrowed and must outlive the session.
+  EncodeSession(Compressor* codec, std::int64_t variables, std::int64_t height,
+                std::int64_t width, const SessionOptions& options = {});
+  ~EncodeSession();
+
+  EncodeSession(const EncodeSession&) = delete;
+  EncodeSession& operator=(const EncodeSession&) = delete;
+
+  // Appends `chunk` = [V, t, H, W] physical-unit frames (any t >= 1). Full
+  // windows compress as soon as they complete.
+  void Push(const Tensor& chunk);
+
+  // Pads and compresses the partial tail window (if any) and returns the
+  // finished archive. Call exactly once; Push is invalid afterwards.
+  core::DatasetArchive Finish();
+
+  std::int64_t frames_pushed() const { return frames_pushed_; }
+  // Records compressed so far (monotonic; includes records already handed to
+  // the archive by Finish).
+  std::int64_t records_emitted() const { return records_emitted_; }
+
+ private:
+  struct PendingWindow {
+    std::int64_t variable = 0;
+    std::int64_t t0 = 0;
+    std::int64_t valid_frames = 0;
+    Tensor window;                       // normalized, padded to full length
+    std::vector<data::FrameNorm> norms;  // one per frame (padding replicated)
+  };
+
+  void CutCompletedWindows();
+  void FlushPending();
+
+  Compressor* codec_;
+  std::int64_t variables_, height_, width_;
+  SessionOptions options_;
+  std::int64_t window_;
+
+  std::vector<Compressor*> workers_;               // [codec_, extras, clones]
+  std::vector<std::unique_ptr<Compressor>> clones_;
+
+  // Normalized frames not yet assigned to a window, per variable (all
+  // variables hold the same count because chunks span every variable).
+  std::vector<std::vector<float>> buffered_;
+  std::vector<std::vector<data::FrameNorm>> norms_;  // per variable, ALL frames
+  std::int64_t buffered_frames_ = 0;
+  std::int64_t frames_pushed_ = 0;
+  std::int64_t next_t0_ = 0;
+
+  std::vector<PendingWindow> pending_;
+  std::vector<core::ArchiveEntry> entries_;
+  std::int64_t records_emitted_ = 0;
+  bool finished_ = false;
+};
+
+class DecodeSession {
+ public:
+  // Both arguments are borrowed. `codec` must be the archive's codec (same
+  // registry name), loaded with the artifact the archive was written against.
+  DecodeSession(Compressor* codec, const core::DatasetArchive& archive);
+
+  // Emits the next time-slab [V, n, H, W] in PHYSICAL units, where n is the
+  // slab's true (un-padded) frame count. Slabs arrive in increasing t0;
+  // returns false when the archive is exhausted. `t0_out` (optional)
+  // receives the slab's first frame index.
+  bool Next(Tensor* out, std::int64_t* t0_out = nullptr);
+
+  // Convenience: decodes the remaining slabs into a full [V, T, H, W] tensor
+  // (frames the archive does not cover stay zero).
+  Tensor DecodeAll();
+
+ private:
+  Compressor* codec_;
+  const core::DatasetArchive& archive_;
+  // (t0, indices into archive.entries()) sorted by t0, so decode is linear
+  // in the record count.
+  std::vector<std::pair<std::int64_t, std::vector<std::size_t>>> slabs_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace glsc::api

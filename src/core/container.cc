@@ -2,24 +2,30 @@
 
 #include <algorithm>
 
+#include "api/adapters.h"
+#include "api/session.h"
 #include "util/check.h"
-#include "util/thread_pool.h"
 
 namespace glsc::core {
 namespace {
 
 constexpr char kMagic[4] = {'G', 'L', 'S', 'C'};
-constexpr std::uint8_t kVersion = 1;
+constexpr std::uint8_t kVersion = 2;
+constexpr std::uint8_t kLegacyVersion = 1;  // GLSC-only records
 
-void PutShape(const Shape& shape, ByteWriter* out) {
-  out->PutVarU64(shape.size());
-  for (const auto d : shape) out->PutVarU64(static_cast<std::uint64_t>(d));
-}
+void PutShape(const Shape& shape, ByteWriter* out) { PutDims(shape, out); }
+Shape GetShape(ByteReader* in) { return GetDimsChecked(in); }
 
-Shape GetShape(ByteReader* in) {
-  Shape shape(in->GetVarU64());
-  for (auto& d : shape) d = static_cast<std::int64_t>(in->GetVarU64());
-  return shape;
+// Reads a varint byte count that must fit in what is left of the stream —
+// the guard that keeps truncated/hostile archives from OOMing via a huge
+// resize before the actual read fails.
+std::uint64_t GetCheckedLength(ByteReader* in, const char* what) {
+  const std::uint64_t n = in->GetVarU64();
+  GLSC_CHECK_MSG(n <= in->remaining(), "corrupt record: " << what << " length "
+                                                          << n << " exceeds "
+                                                          << in->remaining()
+                                                          << " remaining bytes");
+  return n;
 }
 
 }  // namespace
@@ -44,32 +50,45 @@ void SerializeWindow(const CompressedWindow& window, ByteWriter* out) {
 
 CompressedWindow DeserializeWindow(ByteReader* in) {
   CompressedWindow window;
-  window.keyframes.y_stream.resize(in->GetVarU64());
+  window.keyframes.y_stream.resize(GetCheckedLength(in, "y-stream"));
   in->GetBytes(window.keyframes.y_stream.data(),
                window.keyframes.y_stream.size());
-  window.keyframes.z_stream.resize(in->GetVarU64());
+  window.keyframes.z_stream.resize(GetCheckedLength(in, "z-stream"));
   in->GetBytes(window.keyframes.z_stream.data(),
                window.keyframes.z_stream.size());
   window.keyframes.y_shape = GetShape(in);
   window.keyframes.z_shape = GetShape(in);
   window.window_shape = GetShape(in);
   window.sample_seed = in->GetU32();
-  window.corrections.resize(in->GetVarU64());
+  // Every correction costs at least its own length varint, so the count can
+  // never legitimately exceed the remaining byte count.
+  const std::uint64_t corrections = in->GetVarU64();
+  GLSC_CHECK_MSG(corrections <= in->remaining(),
+                 "corrupt record: " << corrections << " corrections in "
+                                    << in->remaining() << " remaining bytes");
+  window.corrections.resize(corrections);
   for (auto& c : window.corrections) {
-    c.resize(in->GetVarU64());
+    c.resize(GetCheckedLength(in, "correction"));
     in->GetBytes(c.data(), c.size());
   }
   return window;
 }
 
 void DatasetArchive::Add(std::int64_t variable, std::int64_t t0,
-                         CompressedWindow window) {
-  entries_.push_back({variable, t0, std::move(window)});
+                         std::int64_t valid_frames,
+                         std::vector<std::uint8_t> payload) {
+  GLSC_CHECK(variable >= 0 && t0 >= 0);
+  GLSC_CHECK_MSG(valid_frames > 0 && valid_frames <= window_,
+                 "valid_frames " << valid_frames << " outside (0, " << window_
+                                 << "]");
+  entries_.push_back({variable, t0, valid_frames, std::move(payload)});
 }
 
 const data::FrameNorm& DatasetArchive::norm(std::int64_t variable,
                                             std::int64_t t) const {
   const std::int64_t frames = dataset_shape_[1];
+  GLSC_CHECK(variable >= 0 && variable < dataset_shape_[0] && t >= 0 &&
+             t < frames);
   return norms_[static_cast<std::size_t>(variable * frames + t)];
 }
 
@@ -77,6 +96,7 @@ std::vector<std::uint8_t> DatasetArchive::Serialize() const {
   ByteWriter out;
   out.PutBytes(kMagic, sizeof kMagic);
   out.PutU8(kVersion);
+  out.PutString(codec_);
   GLSC_CHECK(dataset_shape_.size() == 4);
   for (const auto d : dataset_shape_) {
     out.PutU64(static_cast<std::uint64_t>(d));
@@ -92,7 +112,9 @@ std::vector<std::uint8_t> DatasetArchive::Serialize() const {
   for (const auto& entry : entries_) {
     out.PutVarU64(static_cast<std::uint64_t>(entry.variable));
     out.PutVarU64(static_cast<std::uint64_t>(entry.t0));
-    SerializeWindow(entry.window, &out);
+    out.PutVarU64(static_cast<std::uint64_t>(entry.valid_frames));
+    out.PutVarU64(entry.payload.size());
+    out.PutBytes(entry.payload.data(), entry.payload.size());
   }
   return out.Release();
 }
@@ -104,27 +126,83 @@ DatasetArchive DatasetArchive::Deserialize(
   in.GetBytes(magic, 4);
   GLSC_CHECK_MSG(std::equal(magic, magic + 4, kMagic), "not a GLSC archive");
   const std::uint8_t version = in.GetU8();
-  GLSC_CHECK_MSG(version == kVersion, "unsupported archive version "
-                                          << static_cast<int>(version));
+  GLSC_CHECK_MSG(version == kVersion || version == kLegacyVersion,
+                 "unsupported archive version " << static_cast<int>(version));
+
   DatasetArchive archive;
+  if (version == kVersion) {
+    const std::uint64_t codec_len = GetCheckedLength(&in, "codec name");
+    GLSC_CHECK_MSG(codec_len <= 64, "corrupt archive: codec name length");
+    archive.codec_.resize(codec_len);
+    in.GetBytes(archive.codec_.data(), codec_len);
+  } else {
+    archive.codec_ = "glsc";
+  }
+
   archive.dataset_shape_.resize(4);
   for (auto& d : archive.dataset_shape_) {
-    d = static_cast<std::int64_t>(in.GetU64());
+    const std::uint64_t raw = in.GetU64();
+    // Per-dimension cap keeps every product below (V*T norms, V*T*H*W decode
+    // allocation) overflow-free, so the byte-count guards cannot be wrapped
+    // around by giant dimensions.
+    GLSC_CHECK_MSG(raw <= (1ull << 31),
+                   "corrupt archive: dataset dimension " << raw);
+    d = static_cast<std::int64_t>(raw);
   }
   archive.window_ = static_cast<std::int64_t>(in.GetU64());
-  archive.norms_.resize(static_cast<std::size_t>(archive.dataset_shape_[0] *
-                                                 archive.dataset_shape_[1]));
+  GLSC_CHECK_MSG(archive.window_ > 0, "corrupt archive: non-positive window");
+
+  // Each norm costs 8 bytes; reject dimension combinations the input cannot
+  // possibly back before allocating. Dims are <= 2^31, so V*T cannot wrap.
+  const std::uint64_t norm_count =
+      static_cast<std::uint64_t>(archive.dataset_shape_[0]) *
+      static_cast<std::uint64_t>(archive.dataset_shape_[1]);
+  GLSC_CHECK_MSG(norm_count <= in.remaining() / (2 * sizeof(float)),
+                 "corrupt archive: " << norm_count << " frame norms in "
+                                     << in.remaining() << " remaining bytes");
+  // The decode-time [V, T, H, W] element count must stay representable so
+  // DecompressAll's allocation cannot overflow signed arithmetic.
+  const std::uint64_t frame_elems =
+      static_cast<std::uint64_t>(archive.dataset_shape_[2]) *
+      static_cast<std::uint64_t>(archive.dataset_shape_[3]);
+  GLSC_CHECK_MSG(frame_elems == 0 || norm_count <= (1ull << 62) / frame_elems,
+                 "corrupt archive: dataset element count overflows");
+  archive.norms_.resize(norm_count);
   for (auto& n : archive.norms_) {
     n.mean = in.GetF32();
     n.range = in.GetF32();
   }
+
   const std::uint64_t count = in.GetVarU64();
+  GLSC_CHECK_MSG(count <= in.remaining(),
+                 "corrupt archive: " << count << " records in "
+                                     << in.remaining() << " remaining bytes");
   archive.entries_.reserve(count);
   for (std::uint64_t i = 0; i < count; ++i) {
     ArchiveEntry entry;
     entry.variable = static_cast<std::int64_t>(in.GetVarU64());
     entry.t0 = static_cast<std::int64_t>(in.GetVarU64());
-    entry.window = DeserializeWindow(&in);
+    if (version == kVersion) {
+      entry.valid_frames = static_cast<std::int64_t>(in.GetVarU64());
+      entry.payload.resize(GetCheckedLength(&in, "payload"));
+      in.GetBytes(entry.payload.data(), entry.payload.size());
+    } else {
+      // v1 record bodies are bit-identical to the "glsc" codec payload:
+      // re-serializing the parsed window lifts them into v2 entries.
+      const CompressedWindow window = DeserializeWindow(&in);
+      entry.valid_frames =
+          window.window_shape.empty() ? archive.window_ : window.window_shape[0];
+      ByteWriter payload;
+      SerializeWindow(window, &payload);
+      entry.payload = payload.Release();
+    }
+    GLSC_CHECK_MSG(entry.variable >= 0 &&
+                       entry.variable < archive.dataset_shape_[0] &&
+                       entry.t0 >= 0 && entry.t0 < archive.dataset_shape_[1],
+                   "corrupt archive: record outside dataset bounds");
+    GLSC_CHECK_MSG(
+        entry.valid_frames > 0 && entry.valid_frames <= archive.window_,
+        "corrupt archive: record valid_frames " << entry.valid_frames);
     archive.entries_.push_back(std::move(entry));
   }
   return archive;
@@ -140,79 +218,54 @@ DatasetArchive DatasetArchive::ReadFile(const std::string& path) {
   return Deserialize(bytes);
 }
 
+Tensor DatasetArchive::DecompressAll(api::Compressor* codec) const {
+  api::DecodeSession session(codec, *this);
+  return session.DecodeAll();
+}
+
 Tensor DatasetArchive::DecompressAll(GlscCompressor* compressor) const {
-  Tensor out(dataset_shape_);
-  const std::int64_t frames = dataset_shape_[1];
-  const std::int64_t hw = dataset_shape_[2] * dataset_shape_[3];
-  for (const auto& entry : entries_) {
-    const Tensor recon = compressor->Decompress(entry.window);
-    const std::int64_t n = recon.dim(0);
-    for (std::int64_t f = 0; f < n; ++f) {
-      const data::FrameNorm& fn = norm(entry.variable, entry.t0 + f);
-      float* dst =
-          out.data() + ((entry.variable * frames) + entry.t0 + f) * hw;
-      const float* src = recon.data() + f * hw;
-      for (std::int64_t i = 0; i < hw; ++i) {
-        dst[i] = src[i] * fn.range + fn.mean;
-      }
-    }
+  const auto codec = api::WrapGlsc(compressor);
+  return DecompressAll(codec.get());
+}
+
+namespace {
+
+api::SessionOptions GlscSessionOptions(double tau) {
+  api::SessionOptions options;
+  if (tau > 0.0) {
+    options.bound = {api::ErrorBoundMode::kPointwiseL2, tau};
   }
-  return out;
+  return options;
+}
+
+}  // namespace
+
+DatasetArchive CompressDataset(GlscCompressor* compressor,
+                               const data::SequenceDataset& dataset,
+                               double tau) {
+  const auto codec = api::WrapGlsc(compressor);
+  api::EncodeSession session(codec.get(), dataset.variables(),
+                             dataset.height(), dataset.width(),
+                             GlscSessionOptions(tau));
+  session.Push(dataset.raw());
+  return session.Finish();
 }
 
 DatasetArchive CompressDatasetParallel(
     const std::vector<GlscCompressor*>& workers,
     const data::SequenceDataset& dataset, double tau) {
   GLSC_CHECK(!workers.empty());
-  const std::int64_t window = workers[0]->config().window;
-  std::vector<data::FrameNorm> norms;
-  norms.reserve(
-      static_cast<std::size_t>(dataset.variables() * dataset.frames()));
-  for (std::int64_t v = 0; v < dataset.variables(); ++v) {
-    for (std::int64_t t = 0; t < dataset.frames(); ++t) {
-      norms.push_back(dataset.norm(v, t));
-    }
+  const auto primary = api::WrapGlsc(workers[0]);
+  std::vector<std::unique_ptr<api::Compressor>> extras;
+  api::SessionOptions options = GlscSessionOptions(tau);
+  for (std::size_t i = 1; i < workers.size(); ++i) {
+    extras.push_back(api::WrapGlsc(workers[i]));
+    options.extra_workers.push_back(extras.back().get());
   }
-  DatasetArchive archive(dataset.raw().shape(), window, std::move(norms));
-
-  const auto refs = dataset.EvaluationWindows(window);
-  std::vector<CompressedWindow> results(refs.size());
-  // Static round-robin assignment: worker k owns windows k, k+W, k+2W, ...
-  // Each worker's internal state is touched by exactly one thread.
-  ThreadPool& pool = GlobalThreadPool();
-  pool.ParallelFor(workers.size(), [&](std::size_t worker_id) {
-    for (std::size_t i = worker_id; i < refs.size(); i += workers.size()) {
-      const Tensor frames =
-          dataset.NormalizedWindow(refs[i].variable, refs[i].t0, window);
-      results[i] = workers[worker_id]->Compress(frames, tau);
-    }
-  });
-  for (std::size_t i = 0; i < refs.size(); ++i) {
-    archive.Add(refs[i].variable, refs[i].t0, std::move(results[i]));
-  }
-  return archive;
-}
-
-DatasetArchive CompressDataset(GlscCompressor* compressor,
-                               const data::SequenceDataset& dataset,
-                               double tau) {
-  std::vector<data::FrameNorm> norms;
-  norms.reserve(static_cast<std::size_t>(dataset.variables() *
-                                         dataset.frames()));
-  for (std::int64_t v = 0; v < dataset.variables(); ++v) {
-    for (std::int64_t t = 0; t < dataset.frames(); ++t) {
-      norms.push_back(dataset.norm(v, t));
-    }
-  }
-  DatasetArchive archive(dataset.raw().shape(),
-                         compressor->config().window, std::move(norms));
-  for (const auto& ref :
-       dataset.EvaluationWindows(compressor->config().window)) {
-    const Tensor window = dataset.NormalizedWindow(
-        ref.variable, ref.t0, compressor->config().window);
-    archive.Add(ref.variable, ref.t0, compressor->Compress(window, tau));
-  }
-  return archive;
+  api::EncodeSession session(primary.get(), dataset.variables(),
+                             dataset.height(), dataset.width(), options);
+  session.Push(dataset.raw());
+  return session.Finish();
 }
 
 }  // namespace glsc::core

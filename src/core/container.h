@@ -1,21 +1,29 @@
 // On-disk container format for compressed data.
 //
-// A `CompressedWindow` serializes to a self-describing record; a
+// Version 2 makes the archive codec-agnostic: every record carries an opaque
+// per-codec payload produced through the api::Compressor interface, and the
+// archive header names the codec (registry key) that wrote it. A
 // `DatasetArchive` packs the records for a whole [V, T, H, W] dataset —
 // per-frame normalization parameters included — so decompression needs only
 // the archive file plus the model artifact. Layout (little-endian):
 //
-//   archive  := magic "GLSC" u8 version | u64 V,T,H,W | u64 window
+//   archive  := magic "GLSC" u8 version=2 | string codec
+//               | u64 V,T,H,W | u64 window
 //               | V*T x (f32 mean, f32 range) | varint count | count records
-//   record   := varint variable | varint t0
-//               | varint |y| y-bytes | varint |z| z-bytes
-//               | y-shape z-shape (varint rank + dims)
-//               | u32 sample_seed
-//               | varint n_corrections | per frame (varint len + bytes)
+//   record   := varint variable | varint t0 | varint valid_frames
+//               | varint |payload| payload-bytes
 //
-// The per-record header bytes here are exactly what
-// CompressedWindow::HeaderBytes() charges to the compression ratio, so the
-// reported CRs match what lands on disk.
+// `valid_frames` <= window: streams whose T is not a multiple of the window
+// pad the final record up to the window length; only the first valid_frames
+// decoded frames are real (see api/session.h).
+//
+// Version-1 archives (GLSC-only records, no codec id, no valid_frames) still
+// load: their record bodies are bit-identical to the "glsc" codec payload, so
+// deserialization lifts them into v2 entries in place.
+//
+// All length/count fields are validated against the remaining input before
+// any allocation, so a truncated or hostile archive raises std::runtime_error
+// instead of OOMing or crashing.
 #pragma once
 
 #include <string>
@@ -24,28 +32,38 @@
 #include "core/glsc_compressor.h"
 #include "data/dataset.h"
 
+namespace glsc::api {
+class Compressor;
+}  // namespace glsc::api
+
 namespace glsc::core {
 
+// The "glsc" codec payload body (also the v1 archive record body).
 void SerializeWindow(const CompressedWindow& window, ByteWriter* out);
 CompressedWindow DeserializeWindow(ByteReader* in);
 
 struct ArchiveEntry {
   std::int64_t variable = 0;
   std::int64_t t0 = 0;
-  CompressedWindow window;
+  std::int64_t valid_frames = 0;       // true (un-padded) frames in the record
+  std::vector<std::uint8_t> payload;   // codec-specific bytes
 };
 
 class DatasetArchive {
  public:
   DatasetArchive() = default;
-  DatasetArchive(Shape dataset_shape, std::int64_t window,
+  DatasetArchive(std::string codec, Shape dataset_shape, std::int64_t window,
                  std::vector<data::FrameNorm> norms)
-      : dataset_shape_(std::move(dataset_shape)),
+      : codec_(std::move(codec)),
+        dataset_shape_(std::move(dataset_shape)),
         window_(window),
         norms_(std::move(norms)) {}
 
-  void Add(std::int64_t variable, std::int64_t t0, CompressedWindow window);
+  void Add(std::int64_t variable, std::int64_t t0, std::int64_t valid_frames,
+           std::vector<std::uint8_t> payload);
 
+  // Registry name of the codec whose payloads the records hold.
+  const std::string& codec() const { return codec_; }
   const Shape& dataset_shape() const { return dataset_shape_; }
   std::int64_t window() const { return window_; }
   const std::vector<ArchiveEntry>& entries() const { return entries_; }
@@ -58,17 +76,25 @@ class DatasetArchive {
   static DatasetArchive ReadFile(const std::string& path);
 
   // Decompresses every record back into a full [V, T, H, W] tensor in
-  // physical units (frames the archive does not cover stay zero).
+  // physical units (frames the archive does not cover stay zero). `codec`
+  // must match codec() — typically Compressor::Create(archive.codec(), ...)
+  // loaded with the right artifact.
+  Tensor DecompressAll(api::Compressor* codec) const;
+  // Legacy convenience for callers holding a bare GLSC pipeline.
   Tensor DecompressAll(GlscCompressor* compressor) const;
 
  private:
+  std::string codec_ = "glsc";
   Shape dataset_shape_;  // [V, T, H, W]
   std::int64_t window_ = 0;
   std::vector<data::FrameNorm> norms_;  // V*T entries
   std::vector<ArchiveEntry> entries_;
 };
 
-// Convenience: compresses every evaluation window of `dataset` at bound tau.
+// Convenience: compresses every window of `dataset` at per-frame L2 bound tau
+// through the GLSC pipeline (streams the dataset through an EncodeSession, so
+// trailing frames that do not fill a window are covered via padded records —
+// v1 behavior dropped them).
 DatasetArchive CompressDataset(GlscCompressor* compressor,
                                const data::SequenceDataset& dataset,
                                double tau);
@@ -77,8 +103,7 @@ DatasetArchive CompressDataset(GlscCompressor* compressor,
 // thread-safe (explicit-backward layers cache activations), so the caller
 // provides one instance per worker — typically clones loaded from the same
 // artifact — and windows are distributed over them via the global thread
-// pool. Output is identical to the serial version (window order is fixed,
-// sampling seeds are content-derived).
+// pool. Output is byte-identical to the serial version.
 DatasetArchive CompressDatasetParallel(
     const std::vector<GlscCompressor*>& workers,
     const data::SequenceDataset& dataset, double tau);

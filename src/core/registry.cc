@@ -1,6 +1,7 @@
 #include "core/registry.h"
 
 #include <cstdlib>
+#include <filesystem>
 
 #include "tensor/ops.h"
 #include "util/logging.h"
@@ -16,6 +17,15 @@ bool RetrainRequested() {
 std::string ArtifactPath(const std::string& artifacts_dir,
                          const std::string& tag) {
   return artifacts_dir + "/" + tag + ".glsc";
+}
+
+void EnsureArtifactsDir(const std::string& artifacts_dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(artifacts_dir, ec);
+  GLSC_CHECK_MSG(!ec, "cannot create artifacts dir " << artifacts_dir << ": "
+                                                     << ec.message());
+  GLSC_CHECK_MSG(std::filesystem::is_directory(artifacts_dir),
+                 artifacts_dir << " exists but is not a directory");
 }
 
 void FitPcaFromResiduals(GlscCompressor* compressor,
@@ -82,6 +92,7 @@ std::unique_ptr<GlscCompressor> GetOrTrainGlsc(
   FitPcaFromResiduals(compressor.get(), dataset, budget.pca_fit_windows,
                       budget.diffusion.crop);
 
+  EnsureArtifactsDir(artifacts_dir);
   ByteWriter out;
   compressor->Save(&out);
   WriteFileBytes(path, out.bytes());

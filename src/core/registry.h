@@ -46,6 +46,10 @@ std::unique_ptr<Model> GetOrTrain(
 bool RetrainRequested();
 std::string ArtifactPath(const std::string& artifacts_dir,
                          const std::string& tag);
+// Creates `artifacts_dir` (and parents) when missing; throws if the path
+// cannot be created or is not a directory, so a bad cache location fails
+// loudly instead of silently dropping the trained artifact.
+void EnsureArtifactsDir(const std::string& artifacts_dir);
 
 // Fits the PCA basis from pipeline residuals on training windows.
 void FitPcaFromResiduals(GlscCompressor* compressor,
@@ -68,6 +72,7 @@ std::unique_ptr<Model> GetOrTrain(
     return model;
   }
   train(model.get());
+  EnsureArtifactsDir(artifacts_dir);
   ByteWriter out;
   model->Save(&out);
   WriteFileBytes(path, out.bytes());

@@ -6,6 +6,20 @@
 
 namespace glsc::data {
 
+FrameNorm ComputeFrameNorm(const float* frame, std::int64_t count) {
+  double sum = 0.0;
+  float mn = frame[0], mx = frame[0];
+  for (std::int64_t k = 0; k < count; ++k) {
+    sum += frame[k];
+    mn = std::min(mn, frame[k]);
+    mx = std::max(mx, frame[k]);
+  }
+  FrameNorm norm;
+  norm.mean = static_cast<float>(sum / count);
+  norm.range = std::max(mx - mn, 1e-12f);
+  return norm;
+}
+
 SequenceDataset::SequenceDataset(Tensor field) : field_(std::move(field)) {
   GLSC_CHECK(field_.rank() == 4);
   const std::int64_t v = field_.dim(0);
@@ -14,17 +28,8 @@ SequenceDataset::SequenceDataset(Tensor field) : field_(std::move(field)) {
   norms_.resize(static_cast<std::size_t>(v * t));
   for (std::int64_t vi = 0; vi < v; ++vi) {
     for (std::int64_t ti = 0; ti < t; ++ti) {
-      const float* p = field_.data() + (vi * t + ti) * hw;
-      double sum = 0.0;
-      float mn = p[0], mx = p[0];
-      for (std::int64_t k = 0; k < hw; ++k) {
-        sum += p[k];
-        mn = std::min(mn, p[k]);
-        mx = std::max(mx, p[k]);
-      }
-      FrameNorm& norm = norms_[static_cast<std::size_t>(vi * t + ti)];
-      norm.mean = static_cast<float>(sum / hw);
-      norm.range = std::max(mx - mn, 1e-12f);
+      norms_[static_cast<std::size_t>(vi * t + ti)] =
+          ComputeFrameNorm(field_.data() + (vi * t + ti) * hw, hw);
     }
   }
 }

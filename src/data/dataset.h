@@ -21,6 +21,11 @@ struct FrameNorm {
   float range = 1.0f;
 };
 
+// Computes one frame's normalization from `count` contiguous values. Shared
+// by SequenceDataset and the streaming api::EncodeSession so both derive
+// bit-identical parameters from the same frame.
+FrameNorm ComputeFrameNorm(const float* frame, std::int64_t count);
+
 class SequenceDataset {
  public:
   // Takes ownership of a [V, T, H, W] field tensor.

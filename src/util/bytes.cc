@@ -6,6 +6,27 @@
 
 namespace glsc {
 
+void PutDims(const std::vector<std::int64_t>& dims, ByteWriter* out) {
+  out->PutVarU64(dims.size());
+  for (const auto d : dims) out->PutVarU64(static_cast<std::uint64_t>(d));
+}
+
+std::vector<std::int64_t> GetDimsChecked(ByteReader* in) {
+  const std::uint64_t rank = in->GetVarU64();
+  GLSC_CHECK_MSG(rank <= 4, "corrupt stream: shape rank " << rank);
+  std::vector<std::int64_t> dims(rank);
+  std::uint64_t numel = 1;
+  for (auto& d : dims) {
+    const std::uint64_t raw = in->GetVarU64();
+    GLSC_CHECK_MSG(raw <= (1ull << 15), "corrupt stream: dimension " << raw);
+    numel *= raw;  // <= 2^60, cannot wrap
+    d = static_cast<std::int64_t>(raw);
+  }
+  GLSC_CHECK_MSG(numel <= (1ull << 28),
+                 "corrupt stream: shape with " << numel << " elements");
+  return dims;
+}
+
 bool ReadFileBytes(const std::string& path, std::vector<std::uint8_t>* out) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return false;

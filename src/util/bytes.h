@@ -172,6 +172,14 @@ class ByteReader {
   std::size_t pos_ = 0;
 };
 
+// Serializes a tensor-shape dimension list (varint rank + dims). The reader
+// is hardened for untrusted input: serialized shapes describe window/latent
+// geometry, so rank is capped at 4, each dim at 2^15, and the total element
+// count at 2^28 — a hostile stream can neither overflow ShapeNumel nor force
+// an absurd allocation downstream, it throws std::runtime_error instead.
+void PutDims(const std::vector<std::int64_t>& dims, ByteWriter* out);
+std::vector<std::int64_t> GetDimsChecked(ByteReader* in);
+
 // Whole-file helpers for the model artifact cache.
 bool ReadFileBytes(const std::string& path, std::vector<std::uint8_t>* out);
 void WriteFileBytes(const std::string& path,

@@ -1,5 +1,6 @@
 // Tests for the on-disk archive format: serialization round-trips, format
-// validation, and end-to-end file compress -> write -> read -> decompress.
+// validation (corrupt/truncated/hostile input), v1 back-compat, and
+// end-to-end file compress -> write -> read -> decompress.
 #include <gtest/gtest.h>
 
 #include <cstdio>
@@ -34,6 +35,12 @@ CompressedWindow MakeFakeWindow(Rng& rng) {
   return w;
 }
 
+std::vector<std::uint8_t> Payload(const CompressedWindow& window) {
+  ByteWriter out;
+  SerializeWindow(window, &out);
+  return out.Release();
+}
+
 bool WindowsEqual(const CompressedWindow& a, const CompressedWindow& b) {
   return a.keyframes.y_stream == b.keyframes.y_stream &&
          a.keyframes.z_stream == b.keyframes.z_stream &&
@@ -63,28 +70,65 @@ TEST(Container, ArchiveRoundTrip) {
     n.mean = rng.NormalF();
     n.range = 1.0f + rng.UniformF();
   }
-  DatasetArchive archive({2, 16, 16, 16}, 8, norms);
-  archive.Add(0, 0, MakeFakeWindow(rng));
-  archive.Add(0, 8, MakeFakeWindow(rng));
-  archive.Add(1, 0, MakeFakeWindow(rng));
+  DatasetArchive archive("glsc", {2, 16, 16, 16}, 8, norms);
+  archive.Add(0, 0, 8, Payload(MakeFakeWindow(rng)));
+  archive.Add(0, 8, 8, Payload(MakeFakeWindow(rng)));
+  archive.Add(1, 0, 3, Payload(MakeFakeWindow(rng)));  // padded tail record
 
   const auto bytes = archive.Serialize();
   const DatasetArchive back = DatasetArchive::Deserialize(bytes);
+  EXPECT_EQ(back.codec(), "glsc");
   EXPECT_EQ(back.dataset_shape(), archive.dataset_shape());
   EXPECT_EQ(back.window(), 8);
   ASSERT_EQ(back.entries().size(), 3u);
   for (std::size_t i = 0; i < 3; ++i) {
     EXPECT_EQ(back.entries()[i].variable, archive.entries()[i].variable);
     EXPECT_EQ(back.entries()[i].t0, archive.entries()[i].t0);
-    EXPECT_TRUE(
-        WindowsEqual(back.entries()[i].window, archive.entries()[i].window));
+    EXPECT_EQ(back.entries()[i].valid_frames,
+              archive.entries()[i].valid_frames);
+    EXPECT_EQ(back.entries()[i].payload, archive.entries()[i].payload);
   }
   EXPECT_FLOAT_EQ(back.norm(1, 3).mean, archive.norm(1, 3).mean);
 }
 
+TEST(Container, V1ArchiveStillLoads) {
+  // Hand-assemble a version-1 archive (GLSC-only records, no codec id, no
+  // valid_frames) and check it deserializes into equivalent v2 entries.
+  Rng rng(17);
+  const CompressedWindow w0 = MakeFakeWindow(rng);
+  const CompressedWindow w1 = MakeFakeWindow(rng);
+
+  ByteWriter v1;
+  v1.PutBytes("GLSC", 4);
+  v1.PutU8(1);  // legacy version
+  for (const std::uint64_t d : {1ull, 16ull, 16ull, 16ull}) v1.PutU64(d);
+  v1.PutU64(8);  // window
+  for (int i = 0; i < 16; ++i) {
+    v1.PutF32(static_cast<float>(i));
+    v1.PutF32(1.0f + static_cast<float>(i));
+  }
+  v1.PutVarU64(2);
+  v1.PutVarU64(0);  // variable
+  v1.PutVarU64(0);  // t0
+  SerializeWindow(w0, &v1);
+  v1.PutVarU64(0);
+  v1.PutVarU64(8);
+  SerializeWindow(w1, &v1);
+
+  const DatasetArchive archive = DatasetArchive::Deserialize(v1.bytes());
+  EXPECT_EQ(archive.codec(), "glsc");
+  EXPECT_EQ(archive.dataset_shape(), (Shape{1, 16, 16, 16}));
+  ASSERT_EQ(archive.entries().size(), 2u);
+  // v1 records are full windows; the record body is the "glsc" payload.
+  EXPECT_EQ(archive.entries()[0].valid_frames, 8);
+  EXPECT_EQ(archive.entries()[0].payload, Payload(w0));
+  EXPECT_EQ(archive.entries()[1].t0, 8);
+  EXPECT_EQ(archive.entries()[1].payload, Payload(w1));
+  EXPECT_FLOAT_EQ(archive.norm(0, 3).mean, 3.0f);
+}
+
 TEST(Container, RejectsCorruptMagic) {
-  Rng rng(7);
-  DatasetArchive archive({1, 8, 16, 16}, 8,
+  DatasetArchive archive("glsc", {1, 8, 16, 16}, 8,
                          std::vector<data::FrameNorm>(8));
   auto bytes = archive.Serialize();
   bytes[0] = 'X';
@@ -92,16 +136,98 @@ TEST(Container, RejectsCorruptMagic) {
 }
 
 TEST(Container, RejectsUnknownVersion) {
-  DatasetArchive archive({1, 8, 16, 16}, 8,
+  DatasetArchive archive("glsc", {1, 8, 16, 16}, 8,
                          std::vector<data::FrameNorm>(8));
   auto bytes = archive.Serialize();
   bytes[4] = 99;  // version byte
   EXPECT_THROW(DatasetArchive::Deserialize(bytes), std::runtime_error);
 }
 
+TEST(Container, TruncatedArchiveThrowsInsteadOfCrashing) {
+  Rng rng(23);
+  DatasetArchive archive("glsc", {1, 8, 16, 16}, 8,
+                         std::vector<data::FrameNorm>(8));
+  archive.Add(0, 0, 8, Payload(MakeFakeWindow(rng)));
+  const auto bytes = archive.Serialize();
+  // Every truncation point must raise, never OOM or read out of bounds.
+  for (std::size_t len : {bytes.size() - 1, bytes.size() / 2,
+                          bytes.size() / 4, std::size_t{6}}) {
+    const std::vector<std::uint8_t> cut(bytes.begin(),
+                                        bytes.begin() + static_cast<std::ptrdiff_t>(len));
+    EXPECT_THROW(DatasetArchive::Deserialize(cut), std::runtime_error)
+        << "length " << len;
+  }
+}
+
+TEST(Container, HostileLengthsThrowInsteadOfAllocating) {
+  // A v1-style record whose y-stream length claims ~2^60 bytes: the varint
+  // validation must reject it before any resize happens.
+  ByteWriter hostile;
+  hostile.PutBytes("GLSC", 4);
+  hostile.PutU8(1);
+  for (const std::uint64_t d : {1ull, 8ull, 16ull, 16ull}) hostile.PutU64(d);
+  hostile.PutU64(8);
+  for (int i = 0; i < 8; ++i) {
+    hostile.PutF32(0.0f);
+    hostile.PutF32(1.0f);
+  }
+  hostile.PutVarU64(1);
+  hostile.PutVarU64(0);
+  hostile.PutVarU64(0);
+  hostile.PutVarU64(1ull << 60);  // y-stream "length"
+  hostile.PutU8(0);
+  EXPECT_THROW(DatasetArchive::Deserialize(hostile.bytes()),
+               std::runtime_error);
+
+  // Hostile header: dataset dims whose norm count could never fit the input.
+  ByteWriter huge;
+  huge.PutBytes("GLSC", 4);
+  huge.PutU8(2);
+  huge.PutString("glsc");
+  huge.PutU64(1ull << 40);  // V
+  huge.PutU64(1ull << 40);  // T
+  huge.PutU64(16);
+  huge.PutU64(16);
+  huge.PutU64(8);
+  EXPECT_THROW(DatasetArchive::Deserialize(huge.bytes()), std::runtime_error);
+
+  // V = T = 2^32 would wrap V*T to zero and sneak past a naive norm-count
+  // guard; the per-dimension cap must reject it first.
+  ByteWriter wrap;
+  wrap.PutBytes("GLSC", 4);
+  wrap.PutU8(2);
+  wrap.PutString("glsc");
+  wrap.PutU64(1ull << 32);  // V
+  wrap.PutU64(1ull << 32);  // T
+  wrap.PutU64(16);
+  wrap.PutU64(16);
+  wrap.PutU64(8);
+  EXPECT_THROW(DatasetArchive::Deserialize(wrap.bytes()), std::runtime_error);
+}
+
+TEST(Container, RejectsRecordOutsideDatasetBounds) {
+  Rng rng(29);
+  DatasetArchive archive("glsc", {1, 8, 16, 16}, 8,
+                         std::vector<data::FrameNorm>(8));
+  archive.Add(0, 0, 8, Payload(MakeFakeWindow(rng)));
+  auto bytes = archive.Serialize();
+  // Deserialize-but-corrupt path: patch the record's variable varint (first
+  // byte after the record count) to 7, outside V=1.
+  const DatasetArchive ok = DatasetArchive::Deserialize(bytes);
+  ASSERT_EQ(ok.entries().size(), 1u);
+  // Locate the record area: header is magic(4)+version(1)+codec(1+4)+
+  // dims(32)+window(8)+norms(64)+count(1) -> variable byte follows.
+  const std::size_t var_at = 4 + 1 + 5 + 32 + 8 + 64 + 1;
+  ASSERT_EQ(bytes[var_at], 0u);
+  bytes[var_at] = 7;
+  EXPECT_THROW(DatasetArchive::Deserialize(bytes), std::runtime_error);
+}
+
 TEST(Container, EndToEndFileRoundTrip) {
   // Train a tiny pipeline, archive a dataset to disk, read it back with a
-  // fresh compressor instance (same artifact), decompress and compare.
+  // fresh compressor instance (same artifact), decompress and compare. The
+  // artifacts dir is deliberately nested-and-missing: GetOrTrainGlsc must
+  // create it rather than silently dropping the cache (regression).
   data::FieldSpec spec;
   spec.frames = 16;
   spec.height = 16;
@@ -128,18 +254,20 @@ TEST(Container, EndToEndFileRoundTrip) {
   budget.diffusion.crop = 16;
   budget.diffusion.log_every = 0;
   budget.pca_fit_windows = 2;
-  auto compressor = GetOrTrainGlsc(dataset, config, budget,
-                                   "/tmp/glsc_container_artifacts",
-                                   "container_e2e");
+  const std::string artifacts = "/tmp/glsc_container_artifacts/nested/deeper";
+  std::filesystem::remove_all("/tmp/glsc_container_artifacts");
+  auto compressor =
+      GetOrTrainGlsc(dataset, config, budget, artifacts, "container_e2e");
+  EXPECT_TRUE(FileExists(ArtifactPath(artifacts, "container_e2e")));
 
   const DatasetArchive archive =
       CompressDataset(compressor.get(), dataset, 0.2);
+  EXPECT_EQ(archive.codec(), "glsc");
   const std::string path = "/tmp/glsc_container_test.glsca";
   archive.WriteFile(path);
 
   // Fresh compressor from the same artifact; fresh archive from disk.
-  auto other = GetOrTrainGlsc(dataset, config, budget,
-                              "/tmp/glsc_container_artifacts",
+  auto other = GetOrTrainGlsc(dataset, config, budget, artifacts,
                               "container_e2e");
   const DatasetArchive loaded = DatasetArchive::ReadFile(path);
   const Tensor decompressed = loaded.DecompressAll(other.get());
@@ -212,14 +340,15 @@ TEST(Container, ParallelCompressionMatchesSerial) {
 
 TEST(Container, ArchiveSizeMatchesAccountedBytes) {
   Rng rng(11);
-  DatasetArchive archive({1, 8, 16, 16}, 8,
+  DatasetArchive archive("glsc", {1, 8, 16, 16}, 8,
                          std::vector<data::FrameNorm>(8));
   CompressedWindow w = MakeFakeWindow(rng);
   const std::size_t accounted = w.TotalBytes();
-  archive.Add(0, 0, w);
+  archive.Add(0, 0, 8, Payload(w));
   const auto bytes = archive.Serialize();
   // On-disk size should be close to the accounted size (within the small
-  // container framing: magic, version, dataset dims, record shapes).
+  // container framing: magic, version, codec id, dataset dims, record
+  // shapes).
   EXPECT_LT(bytes.size(), accounted + 160);
 }
 
