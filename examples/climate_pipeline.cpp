@@ -7,7 +7,9 @@
 #include <cstdio>
 
 #include "api/session.h"
+#include "core/archive_reader.h"
 #include "core/container.h"
+#include "serve/decode_scheduler.h"
 #include "core/glsc_compressor.h"
 #include "core/registry.h"
 #include "data/dataset.h"
@@ -90,7 +92,15 @@ int main(int argc, char** argv) {
                                     rule_options);
     rule_session.Push(dataset.raw());
     const core::DatasetArchive rule_archive = rule_session.Finish();
-    const Tensor rule_recon = rule_archive.DecompressAll(rule.get());
+    // Decode through the serving layer: random-access reader over the
+    // serialized bytes, scheduler fanning records out over two workers.
+    const auto rule_bytes = rule_archive.Serialize();
+    const auto rule_reader = core::ArchiveReader::FromBytes(rule_bytes);
+    serve::ScheduleOptions serve_options;
+    serve_options.workers = 2;
+    serve::DecodeScheduler rule_scheduler(&rule_reader, rule.get(),
+                                          serve_options);
+    const Tensor rule_recon = rule_scheduler.GetAll();
     double rule_sq = 0.0;
     const std::int64_t frame_numel = dataset.height() * dataset.width();
     for (std::int64_t v = 0; v < dataset.variables(); ++v) {
@@ -107,9 +117,8 @@ int main(int argc, char** argv) {
       }
     }
     const double rule_points = static_cast<double>(dataset.raw().numel());
-    const std::size_t rule_bytes = rule_archive.Serialize().size();
     std::printf("%-12.3g %-10.1f %-12.4e | %-12.1f %-12.4e\n", tau, glsc_cr,
-                glsc_nrmse, rule_points * sizeof(float) / rule_bytes,
+                glsc_nrmse, rule_points * sizeof(float) / rule_bytes.size(),
                 std::sqrt(rule_sq / rule_points));
   }
   std::printf("\n(learned keyframe+diffusion storage wins at equal error — "

@@ -30,4 +30,33 @@ cmake --build "$BUILD_DIR" -j"$JOBS"
 echo "== test =="
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$JOBS" "$@"
 
+# The serve suite guards the random-access read path; make sure the glob
+# actually registered it under BOTH dispatch registrations (a stale build
+# tree or a renamed file would otherwise drop it silently).
+echo "== serve tests registered (native + _scalar) =="
+for t in serve_test serve_test_scalar; do
+  if ! ctest --test-dir "$BUILD_DIR" -N -R "^${t}\$" | grep -q "${t}\$"; then
+    echo "error: ctest registration missing: $t" >&2
+    exit 1
+  fi
+done
+
+# Bench JSON gate: run the (cheap, rule-based) random-access bench and reject
+# any inf/nan in every emitted bench JSON — degenerate metrics must be
+# clamped at the source, not discovered downstream by a JSON parser.
+echo "== bench JSON gate =="
+"$BUILD_DIR/bench_random_access" --frames=48 --variables=1 \
+    --json="$BUILD_DIR/BENCH_random_access.json"
+bad=0
+for f in "$BUILD_DIR"/BENCH_*.json BENCH_*.json; do
+  [[ -f "$f" ]] || continue
+  if grep -nE '(^|[^A-Za-z_])-?(inf|nan)([^A-Za-z_]|$)' "$f"; then
+    echo "error: non-finite value in $f" >&2
+    bad=1
+  fi
+done
+if [[ $bad -ne 0 ]]; then
+  exit 1
+fi
+
 echo "== OK =="

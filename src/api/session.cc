@@ -199,15 +199,15 @@ core::DatasetArchive EncodeSession::Finish() {
 
 DecodeSession::DecodeSession(Compressor* codec,
                              const core::DatasetArchive& archive)
-    : codec_(codec), archive_(archive) {
+    : codec_(codec), reader_(core::ArchiveReader::FromArchive(archive)) {
   GLSC_CHECK(codec_ != nullptr);
-  GLSC_CHECK_MSG(codec_->name() == archive_.codec(),
+  GLSC_CHECK_MSG(codec_->name() == reader_.codec(),
                  "archive was written by codec '"
-                     << archive_.codec() << "' but decode codec is '"
+                     << reader_.codec() << "' but decode codec is '"
                      << codec_->name() << "'");
   std::map<std::int64_t, std::vector<std::size_t>> by_t0;
-  for (std::size_t i = 0; i < archive_.entries().size(); ++i) {
-    by_t0[archive_.entries()[i].t0].push_back(i);
+  for (std::size_t i = 0; i < reader_.records().size(); ++i) {
+    by_t0[reader_.records()[i].t0].push_back(i);
   }
   slabs_.reserve(by_t0.size());
   for (auto& [t0, indices] : by_t0) {
@@ -220,7 +220,7 @@ bool DecodeSession::Next(Tensor* out, std::int64_t* t0_out) {
   if (cursor_ >= slabs_.size()) return false;
   const auto& [t0, indices] = slabs_[cursor_++];
 
-  const Shape& shape = archive_.dataset_shape();
+  const Shape& shape = reader_.dataset_shape();
   const std::int64_t variables = shape[0];
   const std::int64_t hw = shape[2] * shape[3];
 
@@ -233,20 +233,34 @@ bool DecodeSession::Next(Tensor* out, std::int64_t* t0_out) {
   decoded.reserve(indices.size());
   std::int64_t slab_frames = 0;
   for (const std::size_t index : indices) {
-    const core::ArchiveEntry& entry = archive_.entries()[index];
-    Tensor recon = codec_->DecompressWindow(entry.payload);
+    const core::RecordRef& ref = reader_.records()[index];
+    // Borrowed-archive readers expose the payload in place; decode without
+    // the copy ReadPayload would make.
+    const std::vector<std::uint8_t>* payload = reader_.PayloadView(index);
+    Tensor recon = payload != nullptr
+                       ? codec_->DecompressWindow(*payload)
+                       : codec_->DecompressWindow(reader_.ReadPayload(index));
     GLSC_CHECK_MSG(recon.rank() == 3 && recon.dim(1) == shape[2] &&
                        recon.dim(2) == shape[3],
                    "decoded window geometry mismatch");
-    GLSC_CHECK(entry.valid_frames <= recon.dim(0));
-    slab_frames = std::max(slab_frames, entry.valid_frames);
-    decoded.push_back({entry.variable, entry.valid_frames, std::move(recon)});
+    GLSC_CHECK(ref.valid_frames <= recon.dim(0));
+    // Every variable's record at one t0 describes the same time span, so
+    // their true lengths must agree — a shorter record would otherwise leave
+    // rows of the slab holding zeros that look like data.
+    GLSC_CHECK_MSG(slab_frames == 0 || ref.valid_frames == slab_frames,
+                   "records at t0 " << t0 << " disagree on valid_frames ("
+                                    << ref.valid_frames << " vs "
+                                    << slab_frames << ")");
+    slab_frames = ref.valid_frames;
+    decoded.push_back({ref.variable, ref.valid_frames, std::move(recon)});
   }
 
+  // Zero-initialized (Tensor fills its storage): variables with no record in
+  // this slab read as zero rather than garbage.
   Tensor slab({variables, slab_frames, shape[2], shape[3]});
   for (const auto& d : decoded) {
     for (std::int64_t f = 0; f < d.valid; ++f) {
-      const data::FrameNorm& fn = archive_.norm(d.variable, t0 + f);
+      const data::FrameNorm& fn = reader_.norm(d.variable, t0 + f);
       const float* src = d.recon.data() + f * hw;
       float* dst = slab.data() + (d.variable * slab_frames + f) * hw;
       for (std::int64_t k = 0; k < hw; ++k) dst[k] = src[k] * fn.range + fn.mean;
@@ -258,7 +272,7 @@ bool DecodeSession::Next(Tensor* out, std::int64_t* t0_out) {
 }
 
 Tensor DecodeSession::DecodeAll() {
-  Tensor out(archive_.dataset_shape());
+  Tensor out(reader_.dataset_shape());
   const std::int64_t frames = out.dim(1);
   const std::int64_t hw = out.dim(2) * out.dim(3);
   Tensor slab;

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "api/compressor.h"
+#include "core/archive_reader.h"
 #include "core/container.h"
 
 namespace glsc::api {
@@ -100,6 +101,9 @@ class DecodeSession {
  public:
   // Both arguments are borrowed. `codec` must be the archive's codec (same
   // registry name), loaded with the artifact the archive was written against.
+  // For random access into a subset of an archive (or one opened straight
+  // from disk), use core::ArchiveReader + serve::DecodeScheduler instead;
+  // this session is the linear full-scan path over the same reader machinery.
   DecodeSession(Compressor* codec, const core::DatasetArchive& archive);
 
   // Emits the next time-slab [V, n, H, W] in PHYSICAL units, where n is the
@@ -114,8 +118,8 @@ class DecodeSession {
 
  private:
   Compressor* codec_;
-  const core::DatasetArchive& archive_;
-  // (t0, indices into archive.entries()) sorted by t0, so decode is linear
+  core::ArchiveReader reader_;  // borrows the archive's entries
+  // (t0, indices into reader_.records()) sorted by t0, so decode is linear
   // in the record count.
   std::vector<std::pair<std::int64_t, std::vector<std::size_t>>> slabs_;
   std::size_t cursor_ = 0;

@@ -1,0 +1,338 @@
+#include "core/archive_reader.h"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <mutex>
+
+#include "util/check.h"
+
+namespace glsc::core {
+
+// Positioned reads over the archive bytes. ReadAt validates the range against
+// the stream size, so a hostile index cannot point a read out of bounds.
+class ArchiveReader::Source {
+ public:
+  virtual ~Source() = default;
+  virtual std::uint64_t size() const = 0;
+  virtual void ReadAt(std::uint64_t offset, std::uint64_t length,
+                      std::uint8_t* dst) = 0;
+
+  std::vector<std::uint8_t> Read(std::uint64_t offset, std::uint64_t length) {
+    std::vector<std::uint8_t> buf(static_cast<std::size_t>(length));
+    ReadAt(offset, length, buf.data());
+    return buf;
+  }
+
+ protected:
+  void CheckRange(std::uint64_t offset, std::uint64_t length) const {
+    GLSC_CHECK_MSG(offset <= size() && length <= size() - offset,
+                   "archive read [" << offset << ", +" << length
+                                    << ") out of range of " << size()
+                                    << " bytes");
+  }
+};
+
+namespace {
+
+constexpr char kArchiveMagic[4] = {'G', 'L', 'S', 'C'};
+constexpr char kIndexMagic[4] = {'G', 'I', 'D', 'X'};
+constexpr std::uint64_t kFooterBytes = 12;  // u64 index-offset + "GIDX"
+
+class MemorySource final : public ArchiveReader::Source {
+ public:
+  explicit MemorySource(std::vector<std::uint8_t> bytes)
+      : bytes_(std::move(bytes)) {}
+  std::uint64_t size() const override { return bytes_.size(); }
+  void ReadAt(std::uint64_t offset, std::uint64_t length,
+              std::uint8_t* dst) override {
+    CheckRange(offset, length);
+    std::memcpy(dst, bytes_.data() + offset, static_cast<std::size_t>(length));
+  }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+class FileSource final : public ArchiveReader::Source {
+ public:
+  explicit FileSource(const std::string& path)
+      : stream_(path, std::ios::binary) {
+    GLSC_CHECK_MSG(stream_.good(), "cannot open archive " << path);
+    stream_.seekg(0, std::ios::end);
+    size_ = static_cast<std::uint64_t>(stream_.tellg());
+  }
+  std::uint64_t size() const override { return size_; }
+  void ReadAt(std::uint64_t offset, std::uint64_t length,
+              std::uint8_t* dst) override {
+    CheckRange(offset, length);
+    // One shared stream: serialize seek+read so concurrent decode workers can
+    // fetch payloads without interleaving positions.
+    std::lock_guard<std::mutex> lock(mu_);
+    stream_.clear();
+    stream_.seekg(static_cast<std::streamoff>(offset));
+    stream_.read(reinterpret_cast<char*>(dst),
+                 static_cast<std::streamsize>(length));
+    GLSC_CHECK_MSG(static_cast<std::uint64_t>(stream_.gcount()) == length,
+                   "short read from archive");
+  }
+
+ private:
+  std::ifstream stream_;
+  std::uint64_t size_ = 0;
+  std::mutex mu_;
+};
+
+}  // namespace
+
+ArchiveReader::ArchiveReader()
+    : fetched_(std::make_unique<std::atomic<std::uint64_t>>(0)) {}
+
+ArchiveReader::~ArchiveReader() = default;
+
+ArchiveReader ArchiveReader::FromFile(const std::string& path) {
+  ArchiveReader reader;
+  reader.source_ = std::make_unique<FileSource>(path);
+  reader.ParseSource();
+  return reader;
+}
+
+ArchiveReader ArchiveReader::FromBytes(std::vector<std::uint8_t> bytes) {
+  ArchiveReader reader;
+  reader.source_ = std::make_unique<MemorySource>(std::move(bytes));
+  reader.ParseSource();
+  return reader;
+}
+
+ArchiveReader ArchiveReader::FromArchive(const DatasetArchive& archive) {
+  ArchiveReader reader;
+  reader.archive_ = &archive;
+  reader.codec_ = archive.codec();
+  reader.shape_ = archive.dataset_shape();
+  reader.window_ = archive.window();
+  reader.records_.reserve(archive.entries().size());
+  for (std::size_t i = 0; i < archive.entries().size(); ++i) {
+    const ArchiveEntry& entry = archive.entries()[i];
+    // offset doubles as the entry index; length is still the payload size.
+    reader.records_.push_back({entry.variable, entry.t0, entry.valid_frames,
+                               static_cast<std::uint64_t>(i),
+                               entry.payload.size()});
+  }
+  reader.BuildVariableIndex();
+  return reader;
+}
+
+void ArchiveReader::ParseSource() {
+  const std::uint64_t size = source_->size();
+
+  // Fixed-layout header prefix: magic, version, codec id (name <= 64 bytes),
+  // four u64 dims, u64 window. 128 bytes always covers it.
+  const std::vector<std::uint8_t> prefix =
+      source_->Read(0, std::min<std::uint64_t>(size, 128));
+  ByteReader in(prefix);
+  char magic[4];
+  in.GetBytes(magic, 4);
+  GLSC_CHECK_MSG(std::equal(magic, magic + 4, kArchiveMagic),
+                 "not a GLSC archive");
+  const std::uint8_t version = in.GetU8();
+  GLSC_CHECK_MSG(version >= 1 && version <= 3,
+                 "unsupported archive version " << static_cast<int>(version));
+  if (version >= 2) {
+    const std::uint64_t codec_len = in.GetVarU64();
+    GLSC_CHECK_MSG(codec_len <= 64, "corrupt archive: codec name length");
+    codec_.resize(static_cast<std::size_t>(codec_len));
+    in.GetBytes(codec_.data(), codec_len);
+  }
+  shape_.resize(4);
+  for (auto& d : shape_) {
+    const std::uint64_t raw = in.GetU64();
+    // Same per-dimension cap as DatasetArchive::Deserialize: keeps V*T and
+    // V*T*H*W products overflow-free below.
+    GLSC_CHECK_MSG(raw <= (1ull << 31),
+                   "corrupt archive: dataset dimension " << raw);
+    d = static_cast<std::int64_t>(raw);
+  }
+  window_ = static_cast<std::int64_t>(in.GetU64());
+  GLSC_CHECK_MSG(window_ > 0, "corrupt archive: non-positive window");
+
+  const std::uint64_t norms_offset = in.pos();
+  const std::uint64_t norm_count = static_cast<std::uint64_t>(shape_[0]) *
+                                   static_cast<std::uint64_t>(shape_[1]);
+  GLSC_CHECK_MSG(norm_count <= (size - norms_offset) / (2 * sizeof(float)),
+                 "corrupt archive: " << norm_count << " frame norms in "
+                                     << size - norms_offset
+                                     << " remaining bytes");
+  const std::vector<std::uint8_t> norm_bytes =
+      source_->Read(norms_offset, norm_count * 2 * sizeof(float));
+  ByteReader norms_in(norm_bytes);
+  norms_.resize(static_cast<std::size_t>(norm_count));
+  for (auto& n : norms_) {
+    n.mean = norms_in.GetF32();
+    n.range = norms_in.GetF32();
+  }
+  const std::uint64_t records_start =
+      norms_offset + norm_count * 2 * sizeof(float);
+
+  if (version == 3) {
+    // Random access: footer -> index block -> done. The record area is never
+    // read here; payloads are fetched lazily by ReadPayload.
+    GLSC_CHECK_MSG(size >= records_start + kFooterBytes,
+                   "truncated archive: missing footer");
+    const std::vector<std::uint8_t> footer =
+        source_->Read(size - kFooterBytes, kFooterBytes);
+    ByteReader footer_in(footer);
+    const std::uint64_t index_offset = footer_in.GetU64();
+    char index_magic[4];
+    footer_in.GetBytes(index_magic, 4);
+    GLSC_CHECK_MSG(std::equal(index_magic, index_magic + 4, kIndexMagic),
+                   "truncated archive: bad index magic");
+    GLSC_CHECK_MSG(
+        index_offset >= records_start && index_offset <= size - kFooterBytes,
+        "corrupt archive: index offset " << index_offset);
+
+    const std::vector<std::uint8_t> index_bytes =
+        source_->Read(index_offset, size - kFooterBytes - index_offset);
+    ByteReader index_in(index_bytes);
+    const std::uint64_t count = index_in.GetVarU64();
+    // Every index entry costs at least 5 varint bytes, so a hostile count
+    // can claim at most remaining/5 entries — checked before the reserve.
+    GLSC_CHECK_MSG(count <= index_in.remaining() / 5,
+                   "corrupt archive index: " << count << " entries in "
+                                             << index_in.remaining()
+                                             << " bytes");
+    records_.reserve(static_cast<std::size_t>(count));
+    for (std::uint64_t i = 0; i < count; ++i) {
+      RecordRef ref;
+      ref.variable = static_cast<std::int64_t>(index_in.GetVarU64());
+      ref.t0 = static_cast<std::int64_t>(index_in.GetVarU64());
+      ref.valid_frames = static_cast<std::int64_t>(index_in.GetVarU64());
+      ref.offset = index_in.GetVarU64();
+      ref.length = index_in.GetVarU64();
+      GLSC_CHECK_MSG(ref.variable >= 0 && ref.variable < shape_[0] &&
+                         ref.t0 >= 0 && ref.t0 < shape_[1],
+                     "corrupt archive index: record outside dataset bounds");
+      GLSC_CHECK_MSG(ref.valid_frames > 0 && ref.valid_frames <= window_,
+                     "corrupt archive index: valid_frames "
+                         << ref.valid_frames);
+      GLSC_CHECK_MSG(ref.offset >= records_start &&
+                         ref.length <= index_offset - records_start &&
+                         ref.offset <= index_offset - ref.length,
+                     "corrupt archive index: payload span [" << ref.offset
+                                                             << ", +"
+                                                             << ref.length
+                                                             << ")");
+      records_.push_back(ref);
+    }
+    GLSC_CHECK_MSG(index_in.AtEnd(),
+                   "corrupt archive index: trailing bytes");
+  } else {
+    // v1/v2: no index on disk — scan the record area once to build one.
+    const std::vector<std::uint8_t> tail =
+        source_->Read(records_start, size - records_start);
+    ByteReader tail_in(tail);
+    const std::uint64_t count = tail_in.GetVarU64();
+    GLSC_CHECK_MSG(count <= tail_in.remaining(),
+                   "corrupt archive: " << count << " records in "
+                                       << tail_in.remaining()
+                                       << " remaining bytes");
+    records_.reserve(static_cast<std::size_t>(count));
+    for (std::uint64_t i = 0; i < count; ++i) {
+      RecordRef ref;
+      ref.variable = static_cast<std::int64_t>(tail_in.GetVarU64());
+      ref.t0 = static_cast<std::int64_t>(tail_in.GetVarU64());
+      if (version == 2) {
+        ref.valid_frames = static_cast<std::int64_t>(tail_in.GetVarU64());
+        ref.length = tail_in.GetVarU64();
+        GLSC_CHECK_MSG(ref.length <= tail_in.remaining(),
+                       "corrupt record: payload length " << ref.length);
+        ref.offset = records_start + tail_in.pos();
+        tail_in.Skip(static_cast<std::size_t>(ref.length));
+      } else {
+        // v1: the record body IS the "glsc" payload, bit for bit. Parse it to
+        // find its extent (and the true frame count from the window shape).
+        const std::uint64_t body_start = tail_in.pos();
+        const CompressedWindow window = DeserializeWindow(&tail_in);
+        ref.valid_frames =
+            window.window_shape.empty() ? window_ : window.window_shape[0];
+        ref.offset = records_start + body_start;
+        ref.length = tail_in.pos() - body_start;
+      }
+      GLSC_CHECK_MSG(ref.variable >= 0 && ref.variable < shape_[0] &&
+                         ref.t0 >= 0 && ref.t0 < shape_[1],
+                     "corrupt archive: record outside dataset bounds");
+      GLSC_CHECK_MSG(ref.valid_frames > 0 && ref.valid_frames <= window_,
+                     "corrupt archive: record valid_frames "
+                         << ref.valid_frames);
+      records_.push_back(ref);
+    }
+  }
+  BuildVariableIndex();
+}
+
+void ArchiveReader::BuildVariableIndex() {
+  by_variable_.assign(static_cast<std::size_t>(shape_[0]), {});
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    by_variable_[static_cast<std::size_t>(records_[i].variable)].push_back(i);
+  }
+  for (auto& indices : by_variable_) {
+    std::stable_sort(indices.begin(), indices.end(),
+                     [this](std::size_t a, std::size_t b) {
+                       return records_[a].t0 < records_[b].t0;
+                     });
+  }
+}
+
+const data::FrameNorm& ArchiveReader::norm(std::int64_t variable,
+                                           std::int64_t t) const {
+  if (archive_ != nullptr) return archive_->norm(variable, t);
+  GLSC_CHECK(variable >= 0 && variable < shape_[0] && t >= 0 && t < shape_[1]);
+  return norms_[static_cast<std::size_t>(variable * shape_[1] + t)];
+}
+
+std::vector<std::uint8_t> ArchiveReader::ReadPayload(std::size_t record) const {
+  GLSC_CHECK_MSG(record < records_.size(), "record index out of range");
+  const RecordRef& ref = records_[record];
+  if (archive_ != nullptr) {
+    return archive_->entries()[static_cast<std::size_t>(ref.offset)].payload;
+  }
+  std::vector<std::uint8_t> payload = source_->Read(ref.offset, ref.length);
+  fetched_->fetch_add(ref.length, std::memory_order_relaxed);
+  return payload;
+}
+
+const std::vector<std::uint8_t>* ArchiveReader::PayloadView(
+    std::size_t record) const {
+  GLSC_CHECK_MSG(record < records_.size(), "record index out of range");
+  if (archive_ == nullptr) return nullptr;
+  const std::size_t entry = static_cast<std::size_t>(records_[record].offset);
+  return &archive_->entries()[entry].payload;
+}
+
+std::vector<std::size_t> ArchiveReader::RecordsFor(std::int64_t variable,
+                                                   std::int64_t t_begin,
+                                                   std::int64_t t_end) const {
+  GLSC_CHECK_MSG(variable >= 0 && variable < shape_[0],
+                 "variable " << variable << " outside [0, " << shape_[0]
+                             << ")");
+  GLSC_CHECK_MSG(t_begin >= 0 && t_begin < t_end && t_end <= shape_[1],
+                 "frame range [" << t_begin << ", " << t_end
+                                 << ") outside [0, " << shape_[1] << ")");
+  std::vector<std::size_t> out;
+  for (const std::size_t i :
+       by_variable_[static_cast<std::size_t>(variable)]) {
+    const RecordRef& ref = records_[i];
+    if (ref.t0 >= t_end) break;  // sorted by t0; nothing later can overlap
+    if (ref.t0 + ref.valid_frames > t_begin) out.push_back(i);
+  }
+  return out;
+}
+
+std::uint64_t ArchiveReader::payload_bytes_fetched() const {
+  return fetched_->load(std::memory_order_relaxed);
+}
+
+std::uint64_t ArchiveReader::archive_bytes() const {
+  return source_ ? source_->size() : 0;
+}
+
+}  // namespace glsc::core

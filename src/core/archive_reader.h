@@ -1,0 +1,108 @@
+// Random-access archive reading.
+//
+// `DatasetArchive::Deserialize` materializes every record in memory; post-hoc
+// analysis (the paper's visualization / region-of-interest workloads) instead
+// reads small time slices of single variables far more often than whole
+// datasets. `ArchiveReader` opens an archive from a file or a byte buffer and
+// serves any record's payload without touching the others:
+//
+//   auto reader = core::ArchiveReader::FromFile("run.glsca");
+//   for (std::size_t i : reader.RecordsFor(variable, t_begin, t_end)) {
+//     codec->DecompressWindow(reader.ReadPayload(i));   // only these bytes
+//   }
+//
+// For a v3 archive (container.h) the reader fetches the header from the
+// front, the 12-byte footer from the back, and the index block the footer
+// points at — payload bytes are read lazily, one record at a time. v1/v2
+// archives carry no index, so the reader scans the record area once to build
+// one; random access still works, it just costs a full read up front.
+//
+// ReadPayload is safe to call from multiple threads concurrently (file reads
+// are serialized internally), which is what serve::DecodeScheduler's worker
+// fan-out relies on.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/container.h"
+
+namespace glsc::core {
+
+// One record's metadata plus the byte span of its payload inside the archive.
+struct RecordRef {
+  std::int64_t variable = 0;
+  std::int64_t t0 = 0;
+  std::int64_t valid_frames = 0;
+  std::uint64_t offset = 0;  // absolute payload offset (see backing notes)
+  std::uint64_t length = 0;  // payload byte count
+};
+
+class ArchiveReader {
+ public:
+  // Opens an archive file. v3 archives are indexed without reading the record
+  // area; v1/v2 archives are scanned once.
+  static ArchiveReader FromFile(const std::string& path);
+  // Same over an in-memory byte buffer (takes ownership of the copy).
+  static ArchiveReader FromBytes(std::vector<std::uint8_t> bytes);
+  // Wraps an already-deserialized archive without copying its payloads. The
+  // archive must outlive the reader.
+  static ArchiveReader FromArchive(const DatasetArchive& archive);
+
+  ArchiveReader(ArchiveReader&&) = default;
+  ArchiveReader& operator=(ArchiveReader&&) = default;
+  ArchiveReader(const ArchiveReader&) = delete;
+  ArchiveReader& operator=(const ArchiveReader&) = delete;
+  ~ArchiveReader();
+
+  const std::string& codec() const { return codec_; }
+  const Shape& dataset_shape() const { return shape_; }
+  std::int64_t window() const { return window_; }
+  const data::FrameNorm& norm(std::int64_t variable, std::int64_t t) const;
+  const std::vector<RecordRef>& records() const { return records_; }
+
+  // Fetches one record's payload. File-backed v3 readers read exactly that
+  // record's byte span; thread-safe.
+  std::vector<std::uint8_t> ReadPayload(std::size_t record) const;
+
+  // Zero-copy alternative when the backing already holds the payload as its
+  // own vector (FromArchive readers): returns a pointer into the archive, or
+  // nullptr for file/bytes backings — fall back to ReadPayload then.
+  const std::vector<std::uint8_t>* PayloadView(std::size_t record) const;
+
+  // Indices (into records()) of `variable`'s records overlapping
+  // [t_begin, t_end), sorted by t0.
+  std::vector<std::size_t> RecordsFor(std::int64_t variable,
+                                      std::int64_t t_begin,
+                                      std::int64_t t_end) const;
+
+  // Payload bytes fetched through ReadPayload so far — lets tests and benches
+  // verify that a window query does not drag the whole archive through I/O.
+  std::uint64_t payload_bytes_fetched() const;
+  // Total size of the backing stream (0 for FromArchive readers).
+  std::uint64_t archive_bytes() const;
+
+  class Source;  // internal byte source (file or memory)
+
+ private:
+  ArchiveReader();
+  void ParseSource();
+  void BuildVariableIndex();
+
+  std::string codec_ = "glsc";
+  Shape shape_;
+  std::int64_t window_ = 0;
+  std::vector<data::FrameNorm> norms_;  // unused when archive_ is set
+  std::vector<RecordRef> records_;
+  // Per-variable record indices sorted by t0, for range queries.
+  std::vector<std::vector<std::size_t>> by_variable_;
+
+  std::unique_ptr<Source> source_;           // file/bytes backing
+  const DatasetArchive* archive_ = nullptr;  // borrowed backing
+  std::unique_ptr<std::atomic<std::uint64_t>> fetched_;
+};
+
+}  // namespace glsc::core

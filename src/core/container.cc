@@ -10,8 +10,10 @@ namespace glsc::core {
 namespace {
 
 constexpr char kMagic[4] = {'G', 'L', 'S', 'C'};
-constexpr std::uint8_t kVersion = 2;
-constexpr std::uint8_t kLegacyVersion = 1;  // GLSC-only records
+constexpr char kIndexMagic[4] = {'G', 'I', 'D', 'X'};
+constexpr std::uint8_t kVersion = 3;          // v2 + random-access footer index
+constexpr std::uint8_t kVersionNoIndex = 2;   // codec-agnostic, no index
+constexpr std::uint8_t kLegacyVersion = 1;    // GLSC-only records
 
 void PutShape(const Shape& shape, ByteWriter* out) { PutDims(shape, out); }
 Shape GetShape(ByteReader* in) { return GetDimsChecked(in); }
@@ -109,13 +111,30 @@ std::vector<std::uint8_t> DatasetArchive::Serialize() const {
     out.PutF32(n.range);
   }
   out.PutVarU64(entries_.size());
-  for (const auto& entry : entries_) {
+  std::vector<std::uint64_t> payload_offsets(entries_.size());
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const auto& entry = entries_[i];
     out.PutVarU64(static_cast<std::uint64_t>(entry.variable));
     out.PutVarU64(static_cast<std::uint64_t>(entry.t0));
     out.PutVarU64(static_cast<std::uint64_t>(entry.valid_frames));
     out.PutVarU64(entry.payload.size());
+    payload_offsets[i] = out.size();  // absolute offset of the payload bytes
     out.PutBytes(entry.payload.data(), entry.payload.size());
   }
+
+  // Footer index: each record's metadata plus the absolute byte span of its
+  // payload, then a fixed-size trailer pointing at the index block.
+  const std::uint64_t index_offset = out.size();
+  out.PutVarU64(entries_.size());
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    out.PutVarU64(static_cast<std::uint64_t>(entries_[i].variable));
+    out.PutVarU64(static_cast<std::uint64_t>(entries_[i].t0));
+    out.PutVarU64(static_cast<std::uint64_t>(entries_[i].valid_frames));
+    out.PutVarU64(payload_offsets[i]);
+    out.PutVarU64(entries_[i].payload.size());
+  }
+  out.PutU64(index_offset);
+  out.PutBytes(kIndexMagic, sizeof kIndexMagic);
   return out.Release();
 }
 
@@ -126,11 +145,12 @@ DatasetArchive DatasetArchive::Deserialize(
   in.GetBytes(magic, 4);
   GLSC_CHECK_MSG(std::equal(magic, magic + 4, kMagic), "not a GLSC archive");
   const std::uint8_t version = in.GetU8();
-  GLSC_CHECK_MSG(version == kVersion || version == kLegacyVersion,
+  GLSC_CHECK_MSG(version == kVersion || version == kVersionNoIndex ||
+                     version == kLegacyVersion,
                  "unsupported archive version " << static_cast<int>(version));
 
   DatasetArchive archive;
-  if (version == kVersion) {
+  if (version >= kVersionNoIndex) {
     const std::uint64_t codec_len = GetCheckedLength(&in, "codec name");
     GLSC_CHECK_MSG(codec_len <= 64, "corrupt archive: codec name length");
     archive.codec_.resize(codec_len);
@@ -178,13 +198,15 @@ DatasetArchive DatasetArchive::Deserialize(
                  "corrupt archive: " << count << " records in "
                                      << in.remaining() << " remaining bytes");
   archive.entries_.reserve(count);
+  std::vector<std::uint64_t> payload_offsets(count);
   for (std::uint64_t i = 0; i < count; ++i) {
     ArchiveEntry entry;
     entry.variable = static_cast<std::int64_t>(in.GetVarU64());
     entry.t0 = static_cast<std::int64_t>(in.GetVarU64());
-    if (version == kVersion) {
+    if (version >= kVersionNoIndex) {
       entry.valid_frames = static_cast<std::int64_t>(in.GetVarU64());
       entry.payload.resize(GetCheckedLength(&in, "payload"));
+      payload_offsets[i] = in.pos();
       in.GetBytes(entry.payload.data(), entry.payload.size());
     } else {
       // v1 record bodies are bit-identical to the "glsc" codec payload:
@@ -204,6 +226,38 @@ DatasetArchive DatasetArchive::Deserialize(
         entry.valid_frames > 0 && entry.valid_frames <= archive.window_,
         "corrupt archive: record valid_frames " << entry.valid_frames);
     archive.entries_.push_back(std::move(entry));
+  }
+
+  if (version == kVersion) {
+    // The footer index is redundant with the records just parsed; verify it
+    // agrees entry for entry so a truncated or tampered index throws here
+    // rather than silently desynchronizing random-access readers.
+    const std::uint64_t index_offset = in.pos();
+    const std::uint64_t index_count = in.GetVarU64();
+    GLSC_CHECK_MSG(index_count == count,
+                   "corrupt archive index: " << index_count
+                                             << " index entries for " << count
+                                             << " records");
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const auto& entry = archive.entries_[i];
+      const bool meta_ok =
+          in.GetVarU64() == static_cast<std::uint64_t>(entry.variable) &&
+          in.GetVarU64() == static_cast<std::uint64_t>(entry.t0) &&
+          in.GetVarU64() == static_cast<std::uint64_t>(entry.valid_frames);
+      const bool span_ok = in.GetVarU64() == payload_offsets[i] &&
+                           in.GetVarU64() == entry.payload.size();
+      GLSC_CHECK_MSG(meta_ok && span_ok,
+                     "corrupt archive index: entry " << i
+                                                     << " disagrees with its "
+                                                        "record");
+    }
+    GLSC_CHECK_MSG(in.remaining() == 12, "corrupt archive: malformed footer");
+    GLSC_CHECK_MSG(in.GetU64() == index_offset,
+                   "corrupt archive: footer index offset mismatch");
+    char index_magic[4];
+    in.GetBytes(index_magic, 4);
+    GLSC_CHECK_MSG(std::equal(index_magic, index_magic + 4, kIndexMagic),
+                   "corrupt archive: bad index magic");
   }
   return archive;
 }

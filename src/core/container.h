@@ -1,25 +1,40 @@
 // On-disk container format for compressed data.
 //
-// Version 2 makes the archive codec-agnostic: every record carries an opaque
-// per-codec payload produced through the api::Compressor interface, and the
-// archive header names the codec (registry key) that wrote it. A
+// Version 3 is the codec-agnostic archive of v2 plus a random-access footer
+// index: every record carries an opaque per-codec payload produced through
+// the api::Compressor interface, the header names the codec (registry key)
+// that wrote it, and a trailing index locates every record's payload bytes so
+// a reader can fetch one record without parsing the others. A
 // `DatasetArchive` packs the records for a whole [V, T, H, W] dataset —
 // per-frame normalization parameters included — so decompression needs only
 // the archive file plus the model artifact. Layout (little-endian):
 //
-//   archive  := magic "GLSC" u8 version=2 | string codec
+//   archive  := magic "GLSC" u8 version=3 | string codec
 //               | u64 V,T,H,W | u64 window
 //               | V*T x (f32 mean, f32 range) | varint count | count records
+//               | index | footer
 //   record   := varint variable | varint t0 | varint valid_frames
 //               | varint |payload| payload-bytes
+//   index    := varint count | count x (varint variable | varint t0
+//               | varint valid_frames | varint offset | varint |payload|)
+//   footer   := u64 index-offset | magic "GIDX"
+//
+// The index mirrors each record's metadata and stores the ABSOLUTE byte
+// offset of its payload, so core::ArchiveReader (archive_reader.h) serves a
+// record by reading the header from the front, the fixed 12-byte footer from
+// the back, the index block the footer points at, and then only the payload
+// bytes a query actually touches — the c-blosc2 super-chunk trick applied to
+// codec-opaque diffusion records.
 //
 // `valid_frames` <= window: streams whose T is not a multiple of the window
 // pad the final record up to the window length; only the first valid_frames
 // decoded frames are real (see api/session.h).
 //
-// Version-1 archives (GLSC-only records, no codec id, no valid_frames) still
-// load: their record bodies are bit-identical to the "glsc" codec payload, so
-// deserialization lifts them into v2 entries in place.
+// Version-2 archives (no index/footer) and version-1 archives (GLSC-only
+// records, no codec id, no valid_frames) still load: v1 record bodies are
+// bit-identical to the "glsc" codec payload, so deserialization lifts them
+// into v3 entries in place, and ArchiveReader rebuilds the missing index by
+// scanning the record area once.
 //
 // All length/count fields are validated against the remaining input before
 // any allocation, so a truncated or hostile archive raises std::runtime_error

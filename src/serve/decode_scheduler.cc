@@ -1,0 +1,161 @@
+#include "serve/decode_scheduler.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/thread_pool.h"
+
+namespace glsc::serve {
+
+DecodeScheduler::DecodeScheduler(const core::ArchiveReader* reader,
+                                 api::Compressor* codec,
+                                 const ScheduleOptions& options)
+    : reader_(reader), options_(options) {
+  GLSC_CHECK(reader_ != nullptr && codec != nullptr);
+  GLSC_CHECK_MSG(codec->name() == reader_->codec(),
+                 "archive was written by codec '"
+                     << reader_->codec() << "' but decode codec is '"
+                     << codec->name() << "'");
+  GLSC_CHECK_MSG(options_.workers >= 1, "workers must be >= 1");
+  workers_.push_back(codec);
+  while (static_cast<std::int64_t>(workers_.size()) < options_.workers) {
+    clones_.push_back(codec->Clone());
+    workers_.push_back(clones_.back().get());
+  }
+  worker_mu_.reserve(workers_.size());
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    worker_mu_.push_back(std::make_unique<std::mutex>());
+  }
+}
+
+std::vector<Tensor> DecodeScheduler::Fetch(
+    const std::vector<std::size_t>& indices) {
+  std::vector<Tensor> out(indices.size());
+  std::vector<std::size_t> misses;  // positions in `indices`
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+      const auto it = cache_.find(indices[i]);
+      if (it != cache_.end()) {
+        lru_.splice(lru_.begin(), lru_, it->second.first);
+        out[i] = it->second.second;
+        hits_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        misses.push_back(i);
+      }
+    }
+  }
+  if (misses.empty()) return out;
+
+  const Shape& shape = reader_->dataset_shape();
+  const auto decode_one = [&](std::size_t position, std::size_t worker) {
+    // Per-worker lock: concurrent Get() calls fan out over the same worker
+    // slots, and model instances are not thread-safe. Held only for the
+    // decode itself (never across a pool wait), so this cannot deadlock.
+    const std::size_t record = indices[position];
+    const std::vector<std::uint8_t>* view = reader_->PayloadView(record);
+    std::lock_guard<std::mutex> lock(*worker_mu_[worker]);
+    Tensor recon =
+        view != nullptr
+            ? workers_[worker]->DecompressWindow(*view)
+            : workers_[worker]->DecompressWindow(reader_->ReadPayload(record));
+    GLSC_CHECK_MSG(recon.rank() == 3 && recon.dim(1) == shape[2] &&
+                       recon.dim(2) == shape[3],
+                   "decoded window geometry mismatch");
+    GLSC_CHECK(reader_->records()[record].valid_frames <= recon.dim(0));
+    out[position] = std::move(recon);
+  };
+
+  const std::size_t fan_out = std::min(workers_.size(), misses.size());
+  if (fan_out <= 1) {
+    for (const std::size_t position : misses) {
+      decode_one(position, 0);
+    }
+  } else {
+    // Static round-robin: worker k owns misses k, k+W, ... so within one
+    // query each model instance is touched by exactly one thread. Runs
+    // inline when already on a pool worker (ThreadPool::ParallelFor detects
+    // re-entry), so serving layers stacked above may themselves fan out.
+    GlobalThreadPool().ParallelFor(fan_out, [&](std::size_t k) {
+      for (std::size_t j = k; j < misses.size(); j += fan_out) {
+        decode_one(misses[j], k);
+      }
+    });
+  }
+  decoded_.fetch_add(static_cast<std::int64_t>(misses.size()),
+                     std::memory_order_relaxed);
+
+  if (options_.cache_windows > 0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const std::size_t position : misses) {
+      Insert(indices[position], out[position]);
+    }
+  }
+  return out;
+}
+
+void DecodeScheduler::Insert(std::size_t record, const Tensor& decoded) {
+  const auto it = cache_.find(record);
+  if (it != cache_.end()) {  // another query raced us to the same record
+    lru_.splice(lru_.begin(), lru_, it->second.first);
+    return;
+  }
+  lru_.push_front(record);
+  cache_.emplace(record, std::make_pair(lru_.begin(), decoded));
+  while (cache_.size() > options_.cache_windows) {
+    cache_.erase(lru_.back());
+    lru_.pop_back();
+  }
+}
+
+Tensor DecodeScheduler::Get(std::int64_t variable, std::int64_t t_begin,
+                            std::int64_t t_end) {
+  const Shape& shape = reader_->dataset_shape();
+  const std::vector<std::size_t> indices =
+      reader_->RecordsFor(variable, t_begin, t_end);  // validates the query
+  const std::vector<Tensor> decoded = Fetch(indices);
+
+  const std::int64_t hw = shape[2] * shape[3];
+  Tensor out({t_end - t_begin, shape[2], shape[3]});  // zero-filled
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    const core::RecordRef& ref = reader_->records()[indices[i]];
+    const std::int64_t lo = std::max(ref.t0, t_begin);
+    const std::int64_t hi = std::min(ref.t0 + ref.valid_frames, t_end);
+    for (std::int64_t t = lo; t < hi; ++t) {
+      const data::FrameNorm& fn = reader_->norm(variable, t);
+      const float* src = decoded[i].data() + (t - ref.t0) * hw;
+      float* dst = out.data() + (t - t_begin) * hw;
+      for (std::int64_t k = 0; k < hw; ++k) {
+        dst[k] = src[k] * fn.range + fn.mean;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor DecodeScheduler::GetAll() {
+  const Shape& shape = reader_->dataset_shape();
+  std::vector<std::size_t> indices(reader_->records().size());
+  for (std::size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+  const std::vector<Tensor> decoded = Fetch(indices);
+
+  const std::int64_t frames = shape[1];
+  const std::int64_t hw = shape[2] * shape[3];
+  Tensor out(shape);
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    const core::RecordRef& ref = reader_->records()[i];
+    GLSC_CHECK(ref.t0 + ref.valid_frames <= frames);
+    for (std::int64_t f = 0; f < ref.valid_frames; ++f) {
+      const std::int64_t t = ref.t0 + f;
+      const data::FrameNorm& fn = reader_->norm(ref.variable, t);
+      const float* src = decoded[i].data() + f * hw;
+      float* dst = out.data() + (ref.variable * frames + t) * hw;
+      for (std::int64_t k = 0; k < hw; ++k) {
+        dst[k] = src[k] * fn.range + fn.mean;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace glsc::serve

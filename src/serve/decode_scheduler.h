@@ -1,0 +1,96 @@
+// Serving layer: parallel random-access decode over an archive.
+//
+// `DecodeScheduler` answers Get(variable, t_begin, t_end) queries against an
+// opened ArchiveReader: the frame range maps onto the records that cover it,
+// records missing from the cache decode fan-out over the global ThreadPool
+// (one codec clone per worker — model instances are not thread-safe), and
+// decoded windows land in a bounded LRU so overlapping queries do not re-run
+// the diffusion decoder. Decode output is deterministic per payload, so
+// results are byte-identical for any worker count, and GetAll() reproduces
+// api::DecodeSession::DecodeAll exactly.
+//
+//   auto reader = core::ArchiveReader::FromFile("run.glsca");
+//   serve::DecodeScheduler scheduler(&reader, codec.get(), {.workers = 4});
+//   Tensor slice = scheduler.Get(0, 100, 140);   // [40, H, W], physical units
+//
+// This is the foundation the ROADMAP's sharding/batching layers build on:
+// a shard is one (reader, scheduler) pair, and a batcher is a queue in front
+// of Get.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "api/compressor.h"
+#include "core/archive_reader.h"
+
+namespace glsc::serve {
+
+struct ScheduleOptions {
+  // Codec instances decoding concurrently; > 1 clones the primary codec and
+  // distributes cache misses over the global ThreadPool.
+  std::int64_t workers = 1;
+  // Decoded records kept in the LRU cache (each is one normalized
+  // [window, H, W] tensor). 0 disables caching.
+  std::size_t cache_windows = 32;
+};
+
+class DecodeScheduler {
+ public:
+  // Both pointers are borrowed and must outlive the scheduler. `codec` must
+  // match the archive's codec and be loaded with its model artifact.
+  DecodeScheduler(const core::ArchiveReader* reader, api::Compressor* codec,
+                  const ScheduleOptions& options = {});
+
+  DecodeScheduler(const DecodeScheduler&) = delete;
+  DecodeScheduler& operator=(const DecodeScheduler&) = delete;
+
+  // One variable's frames [t_begin, t_end) in PHYSICAL units as
+  // [t_end - t_begin, H, W]. Frames no record covers stay zero. Thread-safe.
+  Tensor Get(std::int64_t variable, std::int64_t t_begin, std::int64_t t_end);
+
+  // Every record, as the full [V, T, H, W] tensor — byte-identical to
+  // api::DecodeSession::DecodeAll for any worker count.
+  Tensor GetAll();
+
+  // Records decoded so far (cache misses) / queries served from the cache.
+  std::int64_t decoded_records() const {
+    return decoded_.load(std::memory_order_relaxed);
+  }
+  std::int64_t cache_hits() const {
+    return hits_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  // Decoded normalized windows for `indices` (records() positions), from the
+  // cache where possible, decoding the rest in parallel.
+  std::vector<Tensor> Fetch(const std::vector<std::size_t>& indices);
+  void Insert(std::size_t record, const Tensor& decoded);  // mu_ held
+
+  const core::ArchiveReader* reader_;
+  ScheduleOptions options_;
+  std::vector<api::Compressor*> workers_;  // [codec, clones...]
+  std::vector<std::unique_ptr<api::Compressor>> clones_;
+  // One lock per worker slot: concurrent Get() calls both fan out over the
+  // same workers_ array, and codec instances are not thread-safe. Held per
+  // record decode, never across a pool wait, so queries interleave on worker
+  // slots without deadlock.
+  std::vector<std::unique_ptr<std::mutex>> worker_mu_;
+
+  std::mutex mu_;
+  // LRU over record indices: most recent at the front; cache_ maps a record
+  // to its list node and decoded tensor.
+  std::list<std::size_t> lru_;
+  std::unordered_map<std::size_t,
+                     std::pair<std::list<std::size_t>::iterator, Tensor>>
+      cache_;
+  std::atomic<std::int64_t> decoded_{0};
+  std::atomic<std::int64_t> hits_{0};
+};
+
+}  // namespace glsc::serve

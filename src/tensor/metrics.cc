@@ -17,10 +17,17 @@ double Nrmse(const Tensor& original, const Tensor& reconstructed) {
 
 double Psnr(const Tensor& original, const Tensor& reconstructed) {
   const double mse = MeanSquaredError(original, reconstructed);
-  const double range =
+  double range =
       static_cast<double>(original.MaxValue()) - original.MinValue();
-  if (mse <= 0.0) return 200.0;  // identical: clamp at a large finite value
-  return 20.0 * std::log10(range) - 10.0 * std::log10(mse);
+  // Degenerate inputs must still produce a finite value (bench harnesses emit
+  // PSNR into JSON, where inf/nan is unparseable): a constant field has no
+  // range, so report against the normalized unit range instead, and clamp the
+  // MSE so identical inputs land exactly on the 200 dB cap rather than +inf.
+  constexpr double kCapDb = 200.0;
+  if (range <= 0.0) range = 1.0;
+  const double floor = range * range * 1e-20;  // MSE at the cap
+  return std::min(kCapDb, 20.0 * std::log10(range) -
+                              10.0 * std::log10(std::max(mse, floor)));
 }
 
 double MaxAbsError(const Tensor& a, const Tensor& b) {

@@ -137,6 +137,12 @@ class ByteReader {
     pos_ += n;
   }
 
+  // Advances past n bytes without copying them (index scans over payloads).
+  void Skip(std::size_t n) {
+    GLSC_CHECK_MSG(pos_ + n <= size_, "bitstream underrun");
+    pos_ += n;
+  }
+
   std::string GetString() {
     const std::size_t n = GetVarU64();
     std::string s(n, '\0');

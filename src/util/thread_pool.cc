@@ -3,6 +3,13 @@
 #include <atomic>
 
 namespace glsc {
+namespace {
+
+// Pool whose WorkerLoop owns the current thread (nullptr off-pool). Lets
+// ParallelFor detect re-entry from its own workers.
+thread_local const ThreadPool* tls_worker_pool = nullptr;
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
@@ -24,7 +31,10 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
+bool ThreadPool::InWorkerThread() const { return tls_worker_pool == this; }
+
 void ThreadPool::WorkerLoop() {
+  tls_worker_pool = this;
   while (true) {
     std::function<void()> task;
     {
@@ -41,7 +51,12 @@ void ThreadPool::WorkerLoop() {
 void ThreadPool::ParallelFor(std::size_t n,
                              const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
-  if (n == 1 || workers_.size() <= 1) {
+  // Nested call from one of our own workers: helper tasks submitted here
+  // could sit in the queue behind tasks whose workers are themselves blocked
+  // in f.get() below — with every worker blocked nothing drains the queue.
+  // Running inline keeps the worker making progress (and the outer
+  // ParallelFor's other workers supply the parallelism).
+  if (n == 1 || workers_.size() <= 1 || InWorkerThread()) {
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
   }

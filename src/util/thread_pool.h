@@ -41,8 +41,15 @@ class ThreadPool {
   }
 
   // Blocking parallel-for over [0, n): fn(i) is invoked exactly once per
-  // index, distributed over the pool plus the calling thread.
+  // index, distributed over the pool plus the calling thread. Safe to call
+  // from inside a task running on this pool: nested calls run inline on the
+  // calling worker instead of submitting helper tasks, because blocking a
+  // worker on futures whose tasks sit behind other blocked workers in the
+  // queue deadlocks the pool.
   void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  // True when the calling thread is one of THIS pool's workers.
+  bool InWorkerThread() const;
 
  private:
   void WorkerLoop();

@@ -381,6 +381,32 @@ TEST(Session, AllSixCodecsRoundTripStream) {
   }
 }
 
+TEST(Session, DecodeRejectsSlabValidFramesMismatch) {
+  // Two variables' records at one t0 claiming different true lengths would
+  // leave rows of the emitted slab holding zeros that look like data
+  // (regression: Next used max() and silently emitted them).
+  data::FieldSpec spec;
+  spec.variables = 1;
+  spec.frames = 16;
+  spec.height = 32;
+  spec.width = 32;
+  spec.seed = 101;
+  const Tensor field = data::GenerateClimate(spec);
+  auto codec = Compressor::Create("sz");
+  SessionOptions options;
+  options.bound = {ErrorBoundMode::kRelative, 0.01};
+  const core::DatasetArchive encoded = StreamIn(codec.get(), field, 16, options);
+  ASSERT_EQ(encoded.entries().size(), 1u);
+
+  std::vector<data::FrameNorm> norms(2 * 16, data::FrameNorm{0.0f, 1.0f});
+  core::DatasetArchive archive("sz", {2, 16, 32, 32}, 16, norms);
+  archive.Add(0, 0, 16, encoded.entries()[0].payload);
+  archive.Add(1, 0, 9, encoded.entries()[0].payload);  // disagrees
+  DecodeSession decode(codec.get(), archive);
+  Tensor slab;
+  EXPECT_THROW(decode.Next(&slab), std::runtime_error);
+}
+
 TEST(Session, RejectsGeometryAndLifecycleMisuse) {
   auto codec = Compressor::Create("sz");
   SessionOptions options;

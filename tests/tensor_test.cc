@@ -287,6 +287,24 @@ TEST(Metrics, PsnrIdenticalIsLarge) {
   EXPECT_GE(Psnr(a, AddScalar(a, 0.01f)), 20.0);
 }
 
+TEST(Metrics, PsnrIsFiniteOnDegenerateInputs) {
+  // Identical inputs: MSE 0 must clamp to the 200 dB cap, never +inf (the
+  // bench harness emits PSNR into JSON, where inf breaks parsing).
+  Rng rng(20);
+  Tensor a = Tensor::Randn({64}, rng);
+  const double identical = Psnr(a, a);
+  EXPECT_TRUE(std::isfinite(identical));
+  EXPECT_DOUBLE_EQ(identical, 200.0);
+
+  // Constant original (zero range) against a different reconstruction used
+  // to take log10(0) = -inf through the range term.
+  Tensor flat = Tensor::Full({64}, 3.0f);
+  const double constant = Psnr(flat, AddScalar(flat, 0.5f));
+  EXPECT_TRUE(std::isfinite(constant));
+  // Constant AND identical hits both degeneracies at once.
+  EXPECT_DOUBLE_EQ(Psnr(flat, flat), 200.0);
+}
+
 TEST(Metrics, CompressionRatio) {
   EXPECT_DOUBLE_EQ(CompressionRatio(1000, 50, 50), 10.0);
   EXPECT_DOUBLE_EQ(CompressionRatio(1000, 0, 0), 0.0);

@@ -150,6 +150,27 @@ TEST(ThreadPool, SubmitReturnsValue) {
   EXPECT_EQ(fut.get(), 42);
 }
 
+TEST(ThreadPool, NestedParallelForRunsInline) {
+  // A ParallelFor issued from inside a pool task must not submit-and-block:
+  // with every worker occupied by an outer item, the inner helpers' futures
+  // could never resolve (regression: this test deadlocked). The nested call
+  // runs inline on the worker instead.
+  ThreadPool pool(2);
+  std::atomic<int> inner{0};
+  pool.ParallelFor(8, [&](std::size_t) {
+    pool.ParallelFor(4, [&](std::size_t) { inner++; });
+  });
+  EXPECT_EQ(inner.load(), 32);
+
+  // Detection is per-pool and per-thread.
+  EXPECT_FALSE(pool.InWorkerThread());
+  auto fut = pool.Submit([&] { return pool.InWorkerThread(); });
+  EXPECT_TRUE(fut.get());
+  ThreadPool other(1);
+  auto cross = other.Submit([&] { return pool.InWorkerThread(); });
+  EXPECT_FALSE(cross.get());
+}
+
 TEST(ThreadPool, ZeroAndOneItems) {
   ThreadPool pool(2);
   pool.ParallelFor(0, [](std::size_t) { FAIL(); });
