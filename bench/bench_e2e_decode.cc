@@ -1,0 +1,186 @@
+// End-to-end decode throughput for the serving hot path — the workload the
+// workspace arena (tensor/workspace.h) exists for. One file-backed archive,
+// four measurements:
+//
+//   full     — DecodeSession::DecodeAll over every record (linear scan path)
+//   fetch    — DecodeScheduler::Get of every window, cache disabled, so each
+//              fetch pays one real decode through the scheduler
+//   alloc    — raw DecompressWindow per record WITHOUT a workspace (the
+//              pre-arena allocating path, kept as the byte-identity reference)
+//   arena    — raw DecompressWindow per record WITH a reused workspace
+//
+// Emits BENCH_e2e.json with windows/s + MB/s for the session/scheduler paths
+// and the alloc-vs-arena speedup; scripts/check.sh gates on the file existing
+// with finite values, so every number here must be finite.
+//
+//   ./bench_e2e_decode [--codec=glsc] [--frames=48] [--hw=32] [--variables=1]
+//                      [--steps=6] [--workers=2] [--repeat=1] [--json=PATH]
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "api/session.h"
+#include "core/archive_reader.h"
+#include "core/container.h"
+#include "data/field_generators.h"
+#include "harness.h"
+#include "serve/decode_scheduler.h"
+#include "tensor/metrics.h"
+#include "tensor/workspace.h"
+#include "util/flags.h"
+#include "util/timer.h"
+
+int main(int argc, char** argv) {
+  using namespace glsc;
+  Flags flags(argc, argv);
+  const std::string codec_name = flags.GetString("codec", "glsc");
+  const std::string json_path = flags.GetString("json", "BENCH_e2e.json");
+  const std::int64_t repeat = std::max<std::int64_t>(flags.GetInt("repeat", 1), 1);
+
+  data::FieldSpec spec;
+  spec.variables = flags.GetInt("variables", 1);
+  spec.frames = flags.GetInt("frames", 48);
+  spec.height = flags.GetInt("hw", 32);
+  spec.width = spec.height;
+  spec.seed = 2026;
+  data::SequenceDataset dataset(data::GenerateClimate(spec));
+  const Tensor& field = dataset.raw();
+  const double decoded_mb = dataset.OriginalBytes() / double(1 << 20);
+
+  api::CodecOptions options;
+  options.window = 16;
+  options.sample_steps = flags.GetInt("steps", 6);
+  api::TrainOptions train;
+  train.vae_iterations = 200;
+  train.model_iterations = 200;
+  train.crop = 32;
+  auto codec = api::GetOrTrainCodec(codec_name, options, dataset, train,
+                                    bench::ArtifactsDir(),
+                                    "e2e_" + codec_name);
+
+  api::SessionOptions session_options;
+  if (codec->capabilities().Supports(api::ErrorBoundMode::kRelative)) {
+    session_options.bound = {api::ErrorBoundMode::kRelative,
+                             flags.GetDouble("bound", 0.01)};
+  }
+  api::EncodeSession encode(codec.get(), field.dim(0), field.dim(2),
+                            field.dim(3), session_options);
+  encode.Push(field);
+  const core::DatasetArchive archive = encode.Finish();
+  const std::string path = "/tmp/glsc_bench_e2e.glsca";
+  archive.WriteFile(path);
+  const std::size_t records = archive.entries().size();
+  const std::int64_t window = codec->window();
+
+  bench::PrintHeader("e2e decode throughput — " + codec_name);
+  std::printf("archive: %zu records of %lld frames (%lldx%lld), %.2f MB "
+              "decoded per pass\n",
+              records, (long long)window, (long long)spec.height,
+              (long long)spec.width, decoded_mb);
+
+  // -- full archive decode through the streaming session -------------------
+  Timer full_timer;
+  Tensor full;
+  for (std::int64_t r = 0; r < repeat; ++r) {
+    api::DecodeSession session(codec.get(), archive);
+    full = session.DecodeAll();
+  }
+  const double t_full = full_timer.Seconds() / double(repeat);
+  const double nrmse = Nrmse(field, full);
+  const double psnr = Psnr(field, full);
+
+  // -- per-window fetches through the scheduler (cache off => real decodes) -
+  serve::ScheduleOptions serve_options;
+  serve_options.workers = flags.GetInt("workers", 2);
+  serve_options.cache_windows = 0;
+  auto reader = core::ArchiveReader::FromFile(path);
+  serve::DecodeScheduler scheduler(&reader, codec.get(), serve_options);
+  const std::int64_t fetch_windows = field.dim(1) / window;
+  Timer fetch_timer;
+  for (std::int64_t r = 0; r < repeat; ++r) {
+    for (std::int64_t w = 0; w < fetch_windows; ++w) {
+      (void)scheduler.Get(0, w * window, std::min((w + 1) * window,
+                                                  field.dim(1)));
+    }
+  }
+  const double t_fetch = fetch_timer.Seconds() / double(repeat);
+  const double fetch_mb = double(fetch_windows * window * spec.height *
+                                 spec.width * sizeof(float)) / double(1 << 20);
+
+  // -- alloc vs arena on the raw per-record decode -------------------------
+  Timer alloc_timer;
+  for (std::int64_t r = 0; r < repeat; ++r) {
+    for (std::size_t i = 0; i < records; ++i) {
+      (void)codec->DecompressWindow(archive.entries()[i].payload);
+    }
+  }
+  const double t_alloc = alloc_timer.Seconds() / double(repeat);
+
+  tensor::Workspace ws;
+  (void)codec->DecompressWindow(archive.entries()[0].payload, &ws);  // warm up
+  Timer arena_timer;
+  for (std::int64_t r = 0; r < repeat; ++r) {
+    for (std::size_t i = 0; i < records; ++i) {
+      (void)codec->DecompressWindow(archive.entries()[i].payload, &ws);
+    }
+  }
+  const double t_arena = arena_timer.Seconds() / double(repeat);
+
+  const double eps = 1e-9;
+  const double full_wps = double(records) / std::max(t_full, eps);
+  const double full_mbps = decoded_mb / std::max(t_full, eps);
+  const double fetch_wps = double(fetch_windows) / std::max(t_fetch, eps);
+  const double fetch_mbps = fetch_mb / std::max(t_fetch, eps);
+  const double alloc_wps = double(records) / std::max(t_alloc, eps);
+  const double arena_wps = double(records) / std::max(t_arena, eps);
+  const double speedup = t_alloc / std::max(t_arena, eps);
+
+  std::printf(
+      "full decode      %9.4f s   %7.2f windows/s   %7.2f MB/s\n"
+      "window fetch     %9.4f s   %7.2f windows/s   %7.2f MB/s\n"
+      "alloc decode     %9.4f s   %7.2f windows/s\n"
+      "arena decode     %9.4f s   %7.2f windows/s   (%.2fx vs alloc, "
+      "%lld arena slabs, %.1f MB high-water)\n"
+      "fidelity: NRMSE %.4e, PSNR %.1f dB\n",
+      t_full, full_wps, full_mbps, t_fetch, fetch_wps, fetch_mbps, t_alloc,
+      alloc_wps, t_arena, arena_wps, speedup,
+      (long long)ws.stats().slab_allocations,
+      double(ws.stats().peak_bytes) / double(1 << 20), nrmse, psnr);
+
+  if (!json_path.empty()) {
+    std::FILE* out = std::fopen(json_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "error: cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(out,
+                 "{\n"
+                 "  \"bench\": \"e2e_decode\",\n"
+                 "  \"codec\": \"%s\",\n"
+                 "  \"records\": %zu,\n"
+                 "  \"decoded_mb\": %.6g,\n"
+                 "  \"full_decode_s\": %.6g,\n"
+                 "  \"full_windows_per_s\": %.6g,\n"
+                 "  \"full_mb_per_s\": %.6g,\n"
+                 "  \"fetch_s\": %.6g,\n"
+                 "  \"fetch_windows_per_s\": %.6g,\n"
+                 "  \"fetch_mb_per_s\": %.6g,\n"
+                 "  \"alloc_windows_per_s\": %.6g,\n"
+                 "  \"arena_windows_per_s\": %.6g,\n"
+                 "  \"arena_speedup\": %.6g,\n"
+                 "  \"arena_slab_allocations\": %lld,\n"
+                 "  \"arena_peak_mb\": %.6g,\n"
+                 "  \"nrmse\": %.6g,\n"
+                 "  \"psnr_db\": %.6g\n"
+                 "}\n",
+                 codec_name.c_str(), records, decoded_mb, t_full, full_wps,
+                 full_mbps, t_fetch, fetch_wps, fetch_mbps, alloc_wps,
+                 arena_wps, speedup, (long long)ws.stats().slab_allocations,
+                 double(ws.stats().peak_bytes) / double(1 << 20), nrmse, psnr);
+    std::fclose(out);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  std::filesystem::remove(path);
+  return 0;
+}

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Micro-kernel perf smoke: runs the hot-path benchmarks (GEMM, Conv2d
-# forward, attention forward) and emits BENCH_micro.json so the performance
-# trajectory is tracked across PRs. With --codec=NAME it additionally runs
-# the unified-API codec throughput smoke (bench_codec_api) for that backend.
+# forward, attention forward) and emits BENCH_micro.json, then runs the
+# end-to-end decode throughput bench (bench_e2e_decode) and emits
+# BENCH_e2e.json, so the performance trajectory is tracked across PRs. With
+# --codec=NAME it additionally runs the unified-API codec throughput smoke
+# (bench_codec_api) for that backend.
 #
 # Usage:
 #   scripts/bench_smoke.sh [--codec=NAME] [extra google-benchmark flags...]
@@ -10,6 +12,9 @@
 # Environment:
 #   BUILD_DIR   build tree containing the bench binaries (default: build)
 #   OUT         output JSON path (default: BENCH_micro.json)
+#   E2E_OUT     e2e decode JSON path (default: BENCH_e2e.json)
+#   E2E_CODEC   codec for the e2e decode bench (default: glsc; the first run
+#               trains a tiny cached artifact under glsc_artifacts/)
 #   GLSC_FORCE_SCALAR=1 / GLSC_ISA=...  pin the dispatch level under test
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -41,6 +46,15 @@ fi
   ${ARGS[@]+"${ARGS[@]}"}
 
 echo "wrote $OUT"
+
+E2E_BIN="$BUILD_DIR/bench_e2e_decode"
+E2E_OUT=${E2E_OUT:-BENCH_e2e.json}
+E2E_CODEC=${E2E_CODEC:-glsc}
+if [[ ! -x "$E2E_BIN" ]]; then
+  echo "error: $E2E_BIN not found — rebuild first" >&2
+  exit 1
+fi
+"$E2E_BIN" --codec="$E2E_CODEC" --json="$E2E_OUT"
 
 if [[ -n "$CODEC" ]]; then
   CODEC_BIN="$BUILD_DIR/bench_codec_api"

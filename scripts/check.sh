@@ -30,23 +30,34 @@ cmake --build "$BUILD_DIR" -j"$JOBS"
 echo "== test =="
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$JOBS" "$@"
 
-# The serve suite guards the random-access read path; make sure the glob
-# actually registered it under BOTH dispatch registrations (a stale build
-# tree or a renamed file would otherwise drop it silently).
-echo "== serve tests registered (native + _scalar) =="
-for t in serve_test serve_test_scalar; do
-  if ! ctest --test-dir "$BUILD_DIR" -N -R "^${t}\$" | grep -q "${t}\$"; then
+# The serve and workspace suites guard the random-access read path and the
+# zero-allocation decode path; make sure the glob actually registered them
+# under BOTH dispatch registrations (a stale build tree or a renamed file
+# would otherwise drop them silently).
+echo "== serve + workspace tests registered (native + _scalar) =="
+for t in serve_test serve_test_scalar workspace_test workspace_test_scalar; do
+  # grep reads to EOF (no -q): under `pipefail`, an early-exiting grep can
+  # SIGPIPE ctest and turn a present registration into a spurious failure.
+  if ! ctest --test-dir "$BUILD_DIR" -N -R "^${t}\$" | grep "${t}\$" > /dev/null; then
     echo "error: ctest registration missing: $t" >&2
     exit 1
   fi
 done
 
-# Bench JSON gate: run the (cheap, rule-based) random-access bench and reject
-# any inf/nan in every emitted bench JSON — degenerate metrics must be
-# clamped at the source, not discovered downstream by a JSON parser.
+# Bench JSON gate: run the (cheap, rule-based) random-access and e2e decode
+# benches and reject any inf/nan in every emitted bench JSON — degenerate
+# metrics must be clamped at the source, not discovered downstream by a JSON
+# parser. The e2e gate uses the model-free sz codec so it stays fast; the
+# GLSC trajectory numbers come from scripts/bench_smoke.sh.
 echo "== bench JSON gate =="
 "$BUILD_DIR/bench_random_access" --frames=48 --variables=1 \
     --json="$BUILD_DIR/BENCH_random_access.json"
+"$BUILD_DIR/bench_e2e_decode" --codec=sz --frames=48 --variables=1 \
+    --json="$BUILD_DIR/BENCH_e2e.json"
+if [[ ! -s "$BUILD_DIR/BENCH_e2e.json" ]]; then
+  echo "error: BENCH_e2e.json missing or empty" >&2
+  exit 1
+fi
 bad=0
 for f in "$BUILD_DIR"/BENCH_*.json BENCH_*.json; do
   [[ -f "$f" ]] || continue

@@ -183,20 +183,32 @@ Capabilities GlscAdapter::capabilities() const {
 std::vector<std::uint8_t> GlscAdapter::CompressWindow(
     const Tensor& window, const ErrorBound& bound,
     const std::vector<data::FrameNorm>& norms) {
+  return CompressWindow(window, bound, norms, /*ws=*/nullptr);
+}
+
+Tensor GlscAdapter::DecompressWindow(const std::vector<std::uint8_t>& payload) {
+  return DecompressWindow(payload, /*ws=*/nullptr);
+}
+
+std::vector<std::uint8_t> GlscAdapter::CompressWindow(
+    const Tensor& window, const ErrorBound& bound,
+    const std::vector<data::FrameNorm>& norms, tensor::Workspace* ws) {
   (void)norms;  // the pointwise-L2 bound is already in normalized units
   CheckBoundSupported(*this, bound);
   const double tau =
       bound.mode == ErrorBoundMode::kPointwiseL2 ? bound.value : -1.0;
-  const core::CompressedWindow cw = glsc_->Compress(window, tau, sample_steps_);
+  const core::CompressedWindow cw =
+      glsc_->Compress(window, tau, sample_steps_, /*recon_out=*/nullptr, ws);
   ByteWriter out;
   core::SerializeWindow(cw, &out);
   return out.Release();
 }
 
-Tensor GlscAdapter::DecompressWindow(const std::vector<std::uint8_t>& payload) {
+Tensor GlscAdapter::DecompressWindow(const std::vector<std::uint8_t>& payload,
+                                     tensor::Workspace* ws) {
   ByteReader in(payload);
   const core::CompressedWindow cw = core::DeserializeWindow(&in);
-  return glsc_->Decompress(cw, sample_steps_);
+  return glsc_->Decompress(cw, sample_steps_, ws);
 }
 
 void GlscAdapter::Train(const data::SequenceDataset& dataset,

@@ -91,6 +91,14 @@ class GlscAdapter final : public Compressor {
       const Tensor& window, const ErrorBound& bound,
       const std::vector<data::FrameNorm>& norms) override;
   Tensor DecompressWindow(const std::vector<std::uint8_t>& payload) override;
+  // Workspace-aware hot paths: the diffusion sampler + VAE decode run out of
+  // `ws` (byte-identical results, zero steady-state allocations).
+  std::vector<std::uint8_t> CompressWindow(
+      const Tensor& window, const ErrorBound& bound,
+      const std::vector<data::FrameNorm>& norms,
+      tensor::Workspace* ws) override;
+  Tensor DecompressWindow(const std::vector<std::uint8_t>& payload,
+                          tensor::Workspace* ws) override;
   void Train(const data::SequenceDataset& dataset,
              const TrainOptions& options) override;
   void SaveModel(ByteWriter* out) override { glsc_->Save(out); }

@@ -20,6 +20,7 @@
 
 #include "data/dataset.h"
 #include "tensor/tensor.h"
+#include "tensor/workspace.h"
 #include "util/bytes.h"
 
 namespace glsc::api {
@@ -111,6 +112,24 @@ class Compressor {
 
   // Inverse of CompressWindow: normalized [N, H, W].
   virtual Tensor DecompressWindow(const std::vector<std::uint8_t>& payload) = 0;
+
+  // Workspace-aware variants for serving hot paths: codecs with model-based
+  // decode (GLSC) route their per-window tensor traffic through `ws` (one
+  // Workspace per worker, owned by sessions/schedulers alongside the codec
+  // clones) and are byte-identical to the plain calls; the default ignores
+  // `ws`, so rule-based codecs work unchanged. Results are always owned —
+  // arena memory never escapes.
+  virtual std::vector<std::uint8_t> CompressWindow(
+      const Tensor& window, const ErrorBound& bound,
+      const std::vector<data::FrameNorm>& norms, tensor::Workspace* ws) {
+    (void)ws;
+    return CompressWindow(window, bound, norms);
+  }
+  virtual Tensor DecompressWindow(const std::vector<std::uint8_t>& payload,
+                                  tensor::Workspace* ws) {
+    (void)ws;
+    return DecompressWindow(payload);
+  }
 
   // Trains the underlying model(s) in place. Model-free codecs no-op.
   virtual void Train(const data::SequenceDataset& dataset,

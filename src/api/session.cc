@@ -38,6 +38,10 @@ EncodeSession::EncodeSession(Compressor* codec, std::int64_t variables,
     clones_.push_back(codec_->Clone());
     workers_.push_back(clones_.back().get());
   }
+  workspaces_.reserve(workers_.size());
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    workspaces_.push_back(std::make_unique<tensor::Workspace>());
+  }
 }
 
 EncodeSession::~EncodeSession() = default;
@@ -118,18 +122,20 @@ void EncodeSession::FlushPending() {
   if (workers_.size() == 1 || n == 1) {
     for (std::size_t i = 0; i < n; ++i) {
       payloads[i] = codec_->CompressWindow(pending_[i].window, options_.bound,
-                                           pending_[i].norms);
+                                           pending_[i].norms,
+                                           workspaces_[0].get());
     }
   } else {
     // Static round-robin: worker k owns windows k, k+W, k+2W, ... so each
-    // model instance is touched by exactly one thread, and the batching of
-    // Push calls cannot change which worker (all identical) compresses which
-    // window within a flush.
+    // model instance (and its workspace) is touched by exactly one thread,
+    // and the batching of Push calls cannot change which worker (all
+    // identical) compresses which window within a flush.
     ThreadPool& pool = GlobalThreadPool();
     pool.ParallelFor(workers_.size(), [&](std::size_t k) {
       for (std::size_t i = k; i < n; i += workers_.size()) {
         payloads[i] = workers_[k]->CompressWindow(
-            pending_[i].window, options_.bound, pending_[i].norms);
+            pending_[i].window, options_.bound, pending_[i].norms,
+            workspaces_[k].get());
       }
     });
   }
@@ -237,9 +243,10 @@ bool DecodeSession::Next(Tensor* out, std::int64_t* t0_out) {
     // Borrowed-archive readers expose the payload in place; decode without
     // the copy ReadPayload would make.
     const std::vector<std::uint8_t>* payload = reader_.PayloadView(index);
-    Tensor recon = payload != nullptr
-                       ? codec_->DecompressWindow(*payload)
-                       : codec_->DecompressWindow(reader_.ReadPayload(index));
+    Tensor recon =
+        payload != nullptr
+            ? codec_->DecompressWindow(*payload, &workspace_)
+            : codec_->DecompressWindow(reader_.ReadPayload(index), &workspace_);
     GLSC_CHECK_MSG(recon.rank() == 3 && recon.dim(1) == shape[2] &&
                        recon.dim(2) == shape[3],
                    "decoded window geometry mismatch");

@@ -82,6 +82,9 @@ class EncodeSession {
 
   std::vector<Compressor*> workers_;               // [codec_, extras, clones]
   std::vector<std::unique_ptr<Compressor>> clones_;
+  // One arena per worker slot: CompressWindow's decoder-identical simulation
+  // reuses it across every window the slot compresses.
+  std::vector<std::unique_ptr<tensor::Workspace>> workspaces_;
 
   // Normalized frames not yet assigned to a window, per variable (all
   // variables hold the same count because chunks span every variable).
@@ -119,6 +122,8 @@ class DecodeSession {
  private:
   Compressor* codec_;
   core::ArchiveReader reader_;  // borrows the archive's entries
+  // Decode arena, reused by every record this session decodes.
+  tensor::Workspace workspace_;
   // (t0, indices into reader_.records()) sorted by t0, so decode is linear
   // in the record count.
   std::vector<std::pair<std::int64_t, std::vector<std::size_t>>> slabs_;

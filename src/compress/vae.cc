@@ -19,6 +19,21 @@ float Softplus(float x) {
 
 float SoftplusGrad(float x) { return 1.0f / (1.0f + std::exp(-x)); }
 
+// Splits the hyper-decoder output [B, 2*lat, h, w] into mu and sigma_raw
+// (both [B, lat, h, w], preallocated by the caller). Every consumer of the
+// hyper path — training, inference, both DecompressLatents overloads — must
+// agree on this layout and on sigma = Softplus(raw) + kSigmaFloor.
+void SplitHyperParams(const Tensor& params, std::int64_t lat, Tensor* mu,
+                      Tensor* sigma_raw) {
+  const std::int64_t batch = params.dim(0);
+  const std::int64_t hw = params.dim(2) * params.dim(3);
+  for (std::int64_t b = 0; b < batch; ++b) {
+    const float* src = params.data() + b * 2 * lat * hw;
+    std::copy_n(src, lat * hw, mu->data() + b * lat * hw);
+    std::copy_n(src + lat * hw, lat * hw, sigma_raw->data() + b * lat * hw);
+  }
+}
+
 }  // namespace
 
 VaeHyperprior::VaeHyperprior(const VaeConfig& config)
@@ -76,7 +91,7 @@ VaeHyperprior::LossInfo VaeHyperprior::TrainingForwardBackward(const Tensor& x,
   Tensor y = encoder_.Forward(x, /*training=*/true);
 
   // Noise-proxy quantization of y (for decoder + rate) — identity gradient.
-  Tensor y_noisy(y.shape());
+  Tensor y_noisy = Tensor::Empty(y.shape());
   {
     const float* py = y.data();
     float* pn = y_noisy.data();
@@ -86,7 +101,7 @@ VaeHyperprior::LossInfo VaeHyperprior::TrainingForwardBackward(const Tensor& x,
   }
 
   Tensor z = hyper_encoder_.Forward(y, /*training=*/true);
-  Tensor z_noisy(z.shape());
+  Tensor z_noisy = Tensor::Empty(z.shape());
   {
     const float* pz = z.data();
     float* pn = z_noisy.data();
@@ -100,13 +115,9 @@ VaeHyperprior::LossInfo VaeHyperprior::TrainingForwardBackward(const Tensor& x,
   const std::int64_t batch = params.dim(0);
   const std::int64_t hw = params.dim(2) * params.dim(3);
 
-  Tensor mu({batch, lat, params.dim(2), params.dim(3)});
-  Tensor sigma_raw(mu.shape());
-  for (std::int64_t b = 0; b < batch; ++b) {
-    const float* src = params.data() + b * 2 * lat * hw;
-    std::copy_n(src, lat * hw, mu.data() + b * lat * hw);
-    std::copy_n(src + lat * hw, lat * hw, sigma_raw.data() + b * lat * hw);
-  }
+  Tensor mu = Tensor::Empty({batch, lat, params.dim(2), params.dim(3)});
+  Tensor sigma_raw = Tensor::Empty(mu.shape());
+  SplitHyperParams(params, lat, &mu, &sigma_raw);
   Tensor sigma = Map(sigma_raw,
                      [](float v) { return Softplus(v) + kSigmaFloor; });
 
@@ -145,7 +156,7 @@ VaeHyperprior::LossInfo VaeHyperprior::TrainingForwardBackward(const Tensor& x,
   Tensor g_y_from_dec = decoder_.Backward(g_xhat);
 
   // Through sigma's softplus into the hyper-decoder output layout.
-  Tensor g_params(params.shape());
+  Tensor g_params = Tensor::Empty(params.shape());
   for (std::int64_t b = 0; b < batch; ++b) {
     float* dst = g_params.data() + b * 2 * lat * hw;
     std::copy_n(g_mu.data() + b * lat * hw, lat * hw, dst);
@@ -178,6 +189,10 @@ Tensor VaeHyperprior::DecodeLatent(const Tensor& y_hat) {
   return decoder_.Forward(y_hat, /*training=*/false);
 }
 
+Tensor VaeHyperprior::DecodeLatent(const Tensor& y_hat, tensor::Workspace* ws) {
+  return decoder_.Forward(y_hat, ws);
+}
+
 void VaeHyperprior::HyperForwardInference(const Tensor& y, Tensor* z_hat,
                                           Tensor* mu, Tensor* sigma) {
   // The hyper path downsamples 4x and the hyper-decoder upsamples 4x; they
@@ -191,14 +206,9 @@ void VaeHyperprior::HyperForwardInference(const Tensor& y, Tensor* z_hat,
   Tensor params = hyper_decoder_.Forward(*z_hat, /*training=*/false);
   const std::int64_t lat = config_.latent_channels;
   const std::int64_t batch = params.dim(0);
-  const std::int64_t hw = params.dim(2) * params.dim(3);
-  *mu = Tensor({batch, lat, params.dim(2), params.dim(3)});
-  Tensor sigma_raw(mu->shape());
-  for (std::int64_t b = 0; b < batch; ++b) {
-    const float* src = params.data() + b * 2 * lat * hw;
-    std::copy_n(src, lat * hw, mu->data() + b * lat * hw);
-    std::copy_n(src + lat * hw, lat * hw, sigma_raw.data() + b * lat * hw);
-  }
+  *mu = Tensor::Empty({batch, lat, params.dim(2), params.dim(3)});
+  Tensor sigma_raw = Tensor::Empty(mu->shape());
+  SplitHyperParams(params, lat, mu, &sigma_raw);
   *sigma = Map(sigma_raw, [](float v) { return Softplus(v) + kSigmaFloor; });
 }
 
@@ -223,16 +233,32 @@ Tensor VaeHyperprior::DecompressLatents(const VaeBitstream& bits) {
   Tensor params = hyper_decoder_.Forward(z_hat, /*training=*/false);
   const std::int64_t lat = config_.latent_channels;
   const std::int64_t batch = params.dim(0);
-  const std::int64_t hw = params.dim(2) * params.dim(3);
-  Tensor mu({batch, lat, params.dim(2), params.dim(3)});
-  Tensor sigma_raw(mu.shape());
-  for (std::int64_t b = 0; b < batch; ++b) {
-    const float* src = params.data() + b * 2 * lat * hw;
-    std::copy_n(src, lat * hw, mu.data() + b * lat * hw);
-    std::copy_n(src + lat * hw, lat * hw, sigma_raw.data() + b * lat * hw);
-  }
+  Tensor mu = Tensor::Empty({batch, lat, params.dim(2), params.dim(3)});
+  Tensor sigma_raw = Tensor::Empty(mu.shape());
+  SplitHyperParams(params, lat, &mu, &sigma_raw);
   Tensor sigma =
       Map(sigma_raw, [](float v) { return Softplus(v) + kSigmaFloor; });
+  GLSC_CHECK(mu.shape() == bits.y_shape);
+  return gaussian_codec_.Decode(bits.y_stream, mu, sigma);
+}
+
+Tensor VaeHyperprior::DecompressLatents(const VaeBitstream& bits,
+                                        tensor::Workspace* ws) {
+  if (ws == nullptr) return DecompressLatents(bits);
+  // The (mu, sigma) tensors and all hyper-decoder activations rewind when
+  // this scope closes; only the entropy-decoded latents (owned) survive.
+  tensor::Workspace::Scope scope(ws);
+  const Tensor z_hat = prior_.Decode(bits.z_stream, bits.z_shape);
+  Tensor params = hyper_decoder_.Forward(z_hat, ws);
+  const std::int64_t lat = config_.latent_channels;
+  const std::int64_t batch = params.dim(0);
+  Tensor mu = ws->NewTensor({batch, lat, params.dim(2), params.dim(3)});
+  Tensor sigma = ws->NewTensor(mu.shape());
+  SplitHyperParams(params, lat, &mu, &sigma);  // sigma holds raw values...
+  float* psig = sigma.data();
+  for (std::int64_t i = 0; i < sigma.numel(); ++i) {
+    psig[i] = Softplus(psig[i]) + kSigmaFloor;  // ...activated in place
+  }
   GLSC_CHECK(mu.shape() == bits.y_shape);
   return gaussian_codec_.Decode(bits.y_stream, mu, sigma);
 }

@@ -73,13 +73,19 @@ class VaeHyperprior {
   Tensor EncodeLatent(const Tensor& x);
   // Decoder reconstruction from (quantized or generated) latents.
   Tensor DecodeLatent(const Tensor& y_hat);
+  // Workspace variant: the reconstruction (and all decoder activations)
+  // borrows arena memory valid until the caller's scope rewinds.
+  Tensor DecodeLatent(const Tensor& y_hat, tensor::Workspace* ws);
   // Full entropy-coded compression of a frame batch.
   VaeBitstream Compress(const Tensor& x);
   // Compression of pre-computed latents (the GLSC pipeline quantizes
   // keyframe latents that were encoded separately).
   VaeBitstream CompressLatents(const Tensor& y_continuous);
-  // Recovers quantized latents from the bitstream.
+  // Recovers quantized latents from the bitstream. The workspace variant
+  // allocates the hyper-decoder activations and (mu, sigma) from `ws`; the
+  // returned latents are owned either way (they outlive decode scopes).
   Tensor DecompressLatents(const VaeBitstream& bits);
+  Tensor DecompressLatents(const VaeBitstream& bits, tensor::Workspace* ws);
   // Estimated rate (bits) of given integer latents under the hyperprior,
   // without producing a bitstream (used for fast RD sweeps).
   double EstimateLatentBits(const Tensor& y_hat);

@@ -38,16 +38,37 @@ GlscCompressor::GlscCompressor(const GlscConfig& config)
 Tensor GlscCompressor::DecodeWindowFromLatents(const Tensor& y_keys,
                                                std::uint32_t sample_seed,
                                                std::int64_t sample_steps,
-                                               const Shape& window_shape) {
+                                               const Shape& window_shape,
+                                               tensor::Workspace* ws) {
   if (sample_steps <= 0) sample_steps = config_.sample_steps;
   // Both sides derive the min-max bounds from the keyframe latents (§3.3
   // normalization; see conditioner.h for why this stores nothing).
   const diffusion::LatentNorm norm = diffusion::LatentNorm::FromTensor(y_keys);
-  const Tensor keys_normed = norm.Normalize(y_keys);
 
   Rng sample_rng(sample_seed);
   diffusion::SamplerConfig sampler_cfg;
   sampler_cfg.steps = sample_steps;
+
+  if (ws != nullptr) {
+    // Arena path: every intermediate below borrows from `ws` and rewinds when
+    // this scope closes; only the owned reconstruction escapes. Byte-identical
+    // to the allocating path (tests/workspace_test.cc holds this invariant).
+    tensor::Workspace::Scope scope(ws);
+    const Tensor keys_normed = norm.Normalize(y_keys, ws);
+    const Tensor gen_normed = diffusion::SampleConditional(
+        &unet_, schedule_, sampler_cfg, keys_normed, key_idx_, config_.window,
+        sample_rng, ws);
+    Tensor gen_latents = norm.Denormalize(gen_normed, ws);
+    RoundInPlace(&gen_latents);
+    const Tensor full_latents =
+        diffusion::Compose(gen_latents, y_keys, gen_idx_, key_idx_, ws);
+    const Tensor decoded = vae_.DecodeLatent(full_latents, ws);
+    // Lift out of the arena before the scope rewinds.
+    return decoded.Reshape({window_shape[0], window_shape[1], window_shape[2]})
+        .Clone();
+  }
+
+  const Tensor keys_normed = norm.Normalize(y_keys);
   const Tensor gen_normed = diffusion::SampleConditional(
       &unet_, schedule_, sampler_cfg, keys_normed, key_idx_, config_.window,
       sample_rng);
@@ -65,7 +86,8 @@ Tensor GlscCompressor::DecodeWindowFromLatents(const Tensor& y_keys,
 
 CompressedWindow GlscCompressor::Compress(const Tensor& window, double tau,
                                           std::int64_t sample_steps,
-                                          Tensor* recon_out) {
+                                          Tensor* recon_out,
+                                          tensor::Workspace* ws) {
   GLSC_CHECK(window.rank() == 3);
   GLSC_CHECK_MSG(window.dim(0) == config_.window,
                  "window has " << window.dim(0) << " frames, config expects "
@@ -84,9 +106,9 @@ CompressedWindow GlscCompressor::Compress(const Tensor& window, double tau,
   out.keyframes = vae_.Compress(keys_batch);
 
   // 2. Decoder-identical reconstruction.
-  const Tensor y_keys = vae_.DecompressLatents(out.keyframes);
+  const Tensor y_keys = vae_.DecompressLatents(out.keyframes, ws);
   Tensor recon = DecodeWindowFromLatents(y_keys, out.sample_seed, sample_steps,
-                                         out.window_shape);
+                                         out.window_shape, ws);
 
   // 3. Error-bound corrections per frame.
   if (tau > 0.0) {
@@ -108,11 +130,12 @@ CompressedWindow GlscCompressor::Compress(const Tensor& window, double tau,
 }
 
 Tensor GlscCompressor::Decompress(const CompressedWindow& compressed,
-                                  std::int64_t sample_steps) {
-  const Tensor y_keys = vae_.DecompressLatents(compressed.keyframes);
+                                  std::int64_t sample_steps,
+                                  tensor::Workspace* ws) {
+  const Tensor y_keys = vae_.DecompressLatents(compressed.keyframes, ws);
   Tensor recon =
       DecodeWindowFromLatents(y_keys, compressed.sample_seed, sample_steps,
-                              compressed.window_shape);
+                              compressed.window_shape, ws);
   if (!compressed.corrections.empty()) {
     const std::int64_t hw =
         compressed.window_shape[1] * compressed.window_shape[2];
@@ -134,7 +157,8 @@ Tensor GlscCompressor::Reconstruct(const Tensor& window, std::uint32_t seed,
   const Tensor keys_batch =
       keys.Reshape({keys.dim(0), 1, keys.dim(1), keys.dim(2)});
   const Tensor y_keys = Round(vae_.EncodeLatent(keys_batch));
-  return DecodeWindowFromLatents(y_keys, seed, sample_steps, window.shape());
+  return DecodeWindowFromLatents(y_keys, seed, sample_steps, window.shape(),
+                                 /*ws=*/nullptr);
 }
 
 void GlscCompressor::Save(ByteWriter* out) {

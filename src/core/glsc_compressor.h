@@ -82,11 +82,18 @@ class GlscCompressor {
   // non-null it receives the decoder-identical reconstruction computed during
   // compression (with corrections applied when tau > 0), saving callers a
   // redundant Decompress pass.
+  //
+  // A non-null `ws` routes the diffusion sampler + VAE decode through the
+  // workspace arena (zero steady-state heap allocations; see
+  // tensor/workspace.h). Results are byte-identical to the allocating path
+  // and always OWNED — arena memory never escapes these calls.
   CompressedWindow Compress(const Tensor& window, double tau,
                             std::int64_t sample_steps = 0,
-                            Tensor* recon_out = nullptr);
+                            Tensor* recon_out = nullptr,
+                            tensor::Workspace* ws = nullptr);
   Tensor Decompress(const CompressedWindow& compressed,
-                    std::int64_t sample_steps = 0);
+                    std::int64_t sample_steps = 0,
+                    tensor::Workspace* ws = nullptr);
 
   // Reconstruction WITHOUT entropy coding (keyframe latents passed through
   // quantization only) — used for PCA fitting and ablations; identical
@@ -101,7 +108,8 @@ class GlscCompressor {
   Tensor DecodeWindowFromLatents(const Tensor& y_keys,
                                  std::uint32_t sample_seed,
                                  std::int64_t sample_steps,
-                                 const Shape& window_shape);
+                                 const Shape& window_shape,
+                                 tensor::Workspace* ws);
 
   GlscConfig config_;
   compress::VaeHyperprior vae_;

@@ -58,18 +58,38 @@ std::vector<std::int64_t> GeneratedIndices(
   return gen;
 }
 
-Tensor GatherFrames(const Tensor& window,
-                    const std::vector<std::int64_t>& idx) {
-  GLSC_CHECK(window.rank() >= 2);
+namespace {
+
+void GatherFramesInto(const Tensor& window,
+                      const std::vector<std::int64_t>& idx, Tensor* out) {
   const std::int64_t row = window.numel() / window.dim(0);
-  Shape out_shape = window.shape();
-  out_shape[0] = static_cast<std::int64_t>(idx.size());
-  Tensor out(out_shape);
   for (std::size_t i = 0; i < idx.size(); ++i) {
     GLSC_CHECK(idx[i] >= 0 && idx[i] < window.dim(0));
     std::copy_n(window.data() + idx[i] * row, row,
-                out.data() + static_cast<std::int64_t>(i) * row);
+                out->data() + static_cast<std::int64_t>(i) * row);
   }
+}
+
+Shape GatheredShape(const Tensor& window, const std::vector<std::int64_t>& idx) {
+  GLSC_CHECK(window.rank() >= 2);
+  Shape out_shape = window.shape();
+  out_shape[0] = static_cast<std::int64_t>(idx.size());
+  return out_shape;
+}
+
+}  // namespace
+
+Tensor GatherFrames(const Tensor& window,
+                    const std::vector<std::int64_t>& idx) {
+  Tensor out = Tensor::Empty(GatheredShape(window, idx));
+  GatherFramesInto(window, idx, &out);
+  return out;
+}
+
+Tensor GatherFrames(const Tensor& window, const std::vector<std::int64_t>& idx,
+                    tensor::Workspace* ws) {
+  Tensor out = ws->NewTensor(GatheredShape(window, idx));
+  GatherFramesInto(window, idx, &out);
   return out;
 }
 
@@ -84,9 +104,11 @@ void ScatterFrames(const Tensor& packed, const std::vector<std::int64_t>& idx,
   }
 }
 
-Tensor Compose(const Tensor& generated, const Tensor& conditioning,
-               const std::vector<std::int64_t>& gen_idx,
-               const std::vector<std::int64_t>& key_idx) {
+namespace {
+
+Shape ComposedShape(const Tensor& generated, const Tensor& conditioning,
+                    const std::vector<std::int64_t>& gen_idx,
+                    const std::vector<std::int64_t>& key_idx) {
   const std::int64_t frames =
       static_cast<std::int64_t>(gen_idx.size() + key_idx.size());
   GLSC_CHECK(generated.dim(0) == static_cast<std::int64_t>(gen_idx.size()));
@@ -94,7 +116,28 @@ Tensor Compose(const Tensor& generated, const Tensor& conditioning,
   Shape out_shape = generated.rank() > 0 ? generated.shape()
                                          : conditioning.shape();
   out_shape[0] = frames;
-  Tensor out(out_shape);
+  return out_shape;
+}
+
+}  // namespace
+
+Tensor Compose(const Tensor& generated, const Tensor& conditioning,
+               const std::vector<std::int64_t>& gen_idx,
+               const std::vector<std::int64_t>& key_idx) {
+  // The two scatters cover every frame index, so no zero-fill is needed.
+  Tensor out =
+      Tensor::Empty(ComposedShape(generated, conditioning, gen_idx, key_idx));
+  ScatterFrames(generated, gen_idx, &out);
+  ScatterFrames(conditioning, key_idx, &out);
+  return out;
+}
+
+Tensor Compose(const Tensor& generated, const Tensor& conditioning,
+               const std::vector<std::int64_t>& gen_idx,
+               const std::vector<std::int64_t>& key_idx,
+               tensor::Workspace* ws) {
+  Tensor out =
+      ws->NewTensor(ComposedShape(generated, conditioning, gen_idx, key_idx));
   ScatterFrames(generated, gen_idx, &out);
   ScatterFrames(conditioning, key_idx, &out);
   return out;
@@ -108,25 +151,49 @@ LatentNorm LatentNorm::FromTensor(const Tensor& t) {
   return norm;
 }
 
-Tensor LatentNorm::Normalize(const Tensor& t) const {
+namespace {
+
+void NormalizeInto(const Tensor& t, float lo, float hi, Tensor* out) {
   const float scale = 2.0f / (hi - lo);
-  Tensor out(t.shape());
   const float* src = t.data();
-  float* dst = out.data();
+  float* dst = out->data();
   for (std::int64_t i = 0; i < t.numel(); ++i) {
     dst[i] = (src[i] - lo) * scale - 1.0f;
   }
+}
+
+void DenormalizeInto(const Tensor& t, float lo, float hi, Tensor* out) {
+  const float scale = (hi - lo) / 2.0f;
+  const float* src = t.data();
+  float* dst = out->data();
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    dst[i] = (src[i] + 1.0f) * scale + lo;
+  }
+}
+
+}  // namespace
+
+Tensor LatentNorm::Normalize(const Tensor& t) const {
+  Tensor out = Tensor::Empty(t.shape());
+  NormalizeInto(t, lo, hi, &out);
+  return out;
+}
+
+Tensor LatentNorm::Normalize(const Tensor& t, tensor::Workspace* ws) const {
+  Tensor out = ws->NewTensor(t.shape());
+  NormalizeInto(t, lo, hi, &out);
   return out;
 }
 
 Tensor LatentNorm::Denormalize(const Tensor& t) const {
-  const float scale = (hi - lo) / 2.0f;
-  Tensor out(t.shape());
-  const float* src = t.data();
-  float* dst = out.data();
-  for (std::int64_t i = 0; i < t.numel(); ++i) {
-    dst[i] = (src[i] + 1.0f) * scale + lo;
-  }
+  Tensor out = Tensor::Empty(t.shape());
+  DenormalizeInto(t, lo, hi, &out);
+  return out;
+}
+
+Tensor LatentNorm::Denormalize(const Tensor& t, tensor::Workspace* ws) const {
+  Tensor out = ws->NewTensor(t.shape());
+  DenormalizeInto(t, lo, hi, &out);
   return out;
 }
 

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "tensor/tensor.h"
+#include "tensor/workspace.h"
 
 namespace glsc::diffusion {
 
@@ -45,9 +46,15 @@ std::vector<std::int64_t> GeneratedIndices(
 Tensor Compose(const Tensor& generated, const Tensor& conditioning,
                const std::vector<std::int64_t>& gen_idx,
                const std::vector<std::int64_t>& key_idx);
+Tensor Compose(const Tensor& generated, const Tensor& conditioning,
+               const std::vector<std::int64_t>& gen_idx,
+               const std::vector<std::int64_t>& key_idx,
+               tensor::Workspace* ws);
 
 // Gathers the listed frames of a [N, C, H, W] window into a packed tensor.
 Tensor GatherFrames(const Tensor& window, const std::vector<std::int64_t>& idx);
+Tensor GatherFrames(const Tensor& window, const std::vector<std::int64_t>& idx,
+                    tensor::Workspace* ws);
 
 // Writes packed frames back into `window` at the listed positions.
 void ScatterFrames(const Tensor& packed, const std::vector<std::int64_t>& idx,
@@ -60,7 +67,9 @@ struct LatentNorm {
 
   static LatentNorm FromTensor(const Tensor& t);
   Tensor Normalize(const Tensor& t) const;
+  Tensor Normalize(const Tensor& t, tensor::Workspace* ws) const;
   Tensor Denormalize(const Tensor& t) const;
+  Tensor Denormalize(const Tensor& t, tensor::Workspace* ws) const;
 };
 
 }  // namespace glsc::diffusion

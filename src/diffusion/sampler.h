@@ -23,9 +23,17 @@ struct SamplerConfig {
 // Generates the G-frame latents of a window given clean keyframe latents.
 // `keyframes`: packed [K, C, H, W] (normalized to [-1,1]);
 // returns packed generated frames [N-K, C, H, W] (normalized domain).
+//
+// With a non-null `ws` the loop runs allocation-free in steady state: the
+// trajectory tensor x lives in the arena at the call's scope, and each
+// denoising step opens a Workspace::Scope around the UNet forward so all
+// per-step activations rewind before the next step. The result then BORROWS
+// arena memory — callers must consume or Clone() it before their enclosing
+// scope rewinds. Output is byte-identical to the allocating path.
 Tensor SampleConditional(SpaceTimeUNet* model, const NoiseSchedule& schedule,
                          const SamplerConfig& config, const Tensor& keyframes,
                          const std::vector<std::int64_t>& key_idx,
-                         std::int64_t frames, Rng& rng);
+                         std::int64_t frames, Rng& rng,
+                         tensor::Workspace* ws = nullptr);
 
 }  // namespace glsc::diffusion

@@ -53,6 +53,9 @@ class ResBlock {
            const std::string& name);
 
   Tensor Forward(const Tensor& x, const Tensor& temb);
+  // Workspace inference forward: result and temporaries borrow arena memory;
+  // no activations are cached (never follow with Backward).
+  Tensor Forward(const Tensor& x, const Tensor& temb, tensor::Workspace* ws);
   // Returns dx; accumulates d(temb) into grad_temb (shape [1, temb_dim]).
   Tensor Backward(const Tensor& grad_out, Tensor* grad_temb);
   std::vector<nn::Param*> Params();
@@ -72,6 +75,7 @@ class SpatialAttentionBlock : public nn::Layer {
   SpatialAttentionBlock(std::int64_t channels, std::int64_t heads, Rng& rng,
                         const std::string& name);
   Tensor Forward(const Tensor& x, bool training) override;
+  Tensor Forward(const Tensor& x, tensor::Workspace* ws) override;
   Tensor Backward(const Tensor& grad_out) override;
   std::vector<nn::Param*> Params() override;
   std::string Name() const override { return "SpatialAttentionBlock"; }
@@ -88,6 +92,7 @@ class TemporalAttentionBlock : public nn::Layer {
   TemporalAttentionBlock(std::int64_t channels, std::int64_t heads, Rng& rng,
                          const std::string& name);
   Tensor Forward(const Tensor& x, bool training) override;
+  Tensor Forward(const Tensor& x, tensor::Workspace* ws) override;
   Tensor Backward(const Tensor& grad_out) override;
   std::vector<nn::Param*> Params() override;
   std::string Name() const override { return "TemporalAttentionBlock"; }
@@ -108,6 +113,11 @@ class SpaceTimeUNet {
   // ORIGINAL (pre-respacing) schedule, so fine-tuned few-step models keep a
   // consistent embedding. Returns estimated noise, same shape as input.
   Tensor Forward(const Tensor& y_t, std::int64_t t);
+  // Workspace inference forward: numerically identical to Forward, but every
+  // activation (result included) borrows arena memory and nothing is cached,
+  // so steady-state sampler loops perform zero heap allocations. Never
+  // follow with Backward.
+  Tensor Forward(const Tensor& y_t, std::int64_t t, tensor::Workspace* ws);
   Tensor Backward(const Tensor& grad_out);
 
   std::vector<nn::Param*> Params();

@@ -13,14 +13,25 @@ inline float Sigmoid(float x) { return 1.0f / (1.0f + std::exp(-x)); }
 
 Tensor SiLU::Forward(const Tensor& x, bool /*training*/) {
   cached_input_ = x;
-  Tensor y(x.shape());
+  Tensor y = Tensor::Empty(x.shape());
   simd::ActiveKernels().silu_fwd(x.data(), y.data(), x.numel());
   return y;
 }
 
+Tensor SiLU::Forward(const Tensor& x, tensor::Workspace* ws) {
+  Tensor y = ws->NewTensor(x.shape());
+  simd::ActiveKernels().silu_fwd(x.data(), y.data(), x.numel());
+  return y;
+}
+
+bool SiLU::ForwardInPlace(Tensor* x) {
+  simd::ActiveKernels().silu_fwd(x->data(), x->data(), x->numel());
+  return true;
+}
+
 Tensor SiLU::Backward(const Tensor& grad_out) {
   GLSC_CHECK(cached_input_.defined());
-  Tensor grad_in(grad_out.shape());
+  Tensor grad_in = Tensor::Empty(grad_out.shape());
   // d/dx [x*s(x)] = s(x) * (1 + x * (1 - s(x)))
   simd::ActiveKernels().silu_bwd(cached_input_.data(), grad_out.data(),
                                  grad_in.data(), grad_out.numel());
@@ -30,7 +41,7 @@ Tensor SiLU::Backward(const Tensor& grad_out) {
 
 Tensor ReLU::Forward(const Tensor& x, bool /*training*/) {
   cached_input_ = x;
-  Tensor y(x.shape());
+  Tensor y = Tensor::Empty(x.shape());
   const float* px = x.data();
   float* py = y.data();
   const std::int64_t n = x.numel();
@@ -38,9 +49,25 @@ Tensor ReLU::Forward(const Tensor& x, bool /*training*/) {
   return y;
 }
 
+Tensor ReLU::Forward(const Tensor& x, tensor::Workspace* ws) {
+  Tensor y = ws->NewTensor(x.shape());
+  const float* px = x.data();
+  float* py = y.data();
+  const std::int64_t n = x.numel();
+  for (std::int64_t i = 0; i < n; ++i) py[i] = px[i] > 0.0f ? px[i] : 0.0f;
+  return y;
+}
+
+bool ReLU::ForwardInPlace(Tensor* x) {
+  float* p = x->data();
+  const std::int64_t n = x->numel();
+  for (std::int64_t i = 0; i < n; ++i) p[i] = p[i] > 0.0f ? p[i] : 0.0f;
+  return true;
+}
+
 Tensor ReLU::Backward(const Tensor& grad_out) {
   GLSC_CHECK(cached_input_.defined());
-  Tensor grad_in(grad_out.shape());
+  Tensor grad_in = Tensor::Empty(grad_out.shape());
   const float* px = cached_input_.data();
   const float* pg = grad_out.data();
   float* pi = grad_in.data();
@@ -52,7 +79,7 @@ Tensor ReLU::Backward(const Tensor& grad_out) {
 
 Tensor LeakyReLU::Forward(const Tensor& x, bool /*training*/) {
   cached_input_ = x;
-  Tensor y(x.shape());
+  Tensor y = Tensor::Empty(x.shape());
   const float* px = x.data();
   float* py = y.data();
   const std::int64_t n = x.numel();
@@ -62,9 +89,29 @@ Tensor LeakyReLU::Forward(const Tensor& x, bool /*training*/) {
   return y;
 }
 
+Tensor LeakyReLU::Forward(const Tensor& x, tensor::Workspace* ws) {
+  Tensor y = ws->NewTensor(x.shape());
+  const float* px = x.data();
+  float* py = y.data();
+  const std::int64_t n = x.numel();
+  for (std::int64_t i = 0; i < n; ++i) {
+    py[i] = px[i] > 0.0f ? px[i] : slope_ * px[i];
+  }
+  return y;
+}
+
+bool LeakyReLU::ForwardInPlace(Tensor* x) {
+  float* p = x->data();
+  const std::int64_t n = x->numel();
+  for (std::int64_t i = 0; i < n; ++i) {
+    p[i] = p[i] > 0.0f ? p[i] : slope_ * p[i];
+  }
+  return true;
+}
+
 Tensor LeakyReLU::Backward(const Tensor& grad_out) {
   GLSC_CHECK(cached_input_.defined());
-  Tensor grad_in(grad_out.shape());
+  Tensor grad_in = Tensor::Empty(grad_out.shape());
   const float* px = cached_input_.data();
   const float* pg = grad_out.data();
   float* pi = grad_in.data();
@@ -77,15 +124,30 @@ Tensor LeakyReLU::Backward(const Tensor& grad_out) {
 }
 
 Tensor FixedScale::Forward(const Tensor& x, bool /*training*/) {
-  Tensor y(x.shape());
+  Tensor y = Tensor::Empty(x.shape());
   const float* px = x.data();
   float* py = y.data();
   for (std::int64_t i = 0; i < x.numel(); ++i) py[i] = scale_ * px[i];
   return y;
 }
 
+Tensor FixedScale::Forward(const Tensor& x, tensor::Workspace* ws) {
+  Tensor y = ws->NewTensor(x.shape());
+  const float* px = x.data();
+  float* py = y.data();
+  for (std::int64_t i = 0; i < x.numel(); ++i) py[i] = scale_ * px[i];
+  return y;
+}
+
+bool FixedScale::ForwardInPlace(Tensor* x) {
+  float* p = x->data();
+  const std::int64_t n = x->numel();
+  for (std::int64_t i = 0; i < n; ++i) p[i] = scale_ * p[i];
+  return true;
+}
+
 Tensor FixedScale::Backward(const Tensor& grad_out) {
-  Tensor g(grad_out.shape());
+  Tensor g = Tensor::Empty(grad_out.shape());
   const float* pg = grad_out.data();
   float* po = g.data();
   for (std::int64_t i = 0; i < grad_out.numel(); ++i) po[i] = scale_ * pg[i];
@@ -93,7 +155,7 @@ Tensor FixedScale::Backward(const Tensor& grad_out) {
 }
 
 Tensor Tanh::Forward(const Tensor& x, bool /*training*/) {
-  Tensor y(x.shape());
+  Tensor y = Tensor::Empty(x.shape());
   const float* px = x.data();
   float* py = y.data();
   const std::int64_t n = x.numel();
@@ -102,9 +164,25 @@ Tensor Tanh::Forward(const Tensor& x, bool /*training*/) {
   return y;
 }
 
+Tensor Tanh::Forward(const Tensor& x, tensor::Workspace* ws) {
+  Tensor y = ws->NewTensor(x.shape());
+  const float* px = x.data();
+  float* py = y.data();
+  const std::int64_t n = x.numel();
+  for (std::int64_t i = 0; i < n; ++i) py[i] = std::tanh(px[i]);
+  return y;
+}
+
+bool Tanh::ForwardInPlace(Tensor* x) {
+  float* p = x->data();
+  const std::int64_t n = x->numel();
+  for (std::int64_t i = 0; i < n; ++i) p[i] = std::tanh(p[i]);
+  return true;
+}
+
 Tensor Tanh::Backward(const Tensor& grad_out) {
   GLSC_CHECK(cached_output_.defined());
-  Tensor grad_in(grad_out.shape());
+  Tensor grad_in = Tensor::Empty(grad_out.shape());
   const float* py = cached_output_.data();
   const float* pg = grad_out.data();
   float* pi = grad_in.data();

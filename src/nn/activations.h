@@ -1,4 +1,6 @@
-// Pointwise activation layers with exact analytic backward passes.
+// Pointwise activation layers with exact analytic backward passes. All of
+// them support workspace-backed and in-place inference (elementwise, so
+// shapes always allow it).
 #pragma once
 
 #include "nn/layer.h"
@@ -9,6 +11,8 @@ namespace glsc::nn {
 class SiLU : public Layer {
  public:
   Tensor Forward(const Tensor& x, bool training) override;
+  Tensor Forward(const Tensor& x, tensor::Workspace* ws) override;
+  bool ForwardInPlace(Tensor* x) override;
   Tensor Backward(const Tensor& grad_out) override;
   std::string Name() const override { return "SiLU"; }
 
@@ -19,6 +23,8 @@ class SiLU : public Layer {
 class ReLU : public Layer {
  public:
   Tensor Forward(const Tensor& x, bool training) override;
+  Tensor Forward(const Tensor& x, tensor::Workspace* ws) override;
+  bool ForwardInPlace(Tensor* x) override;
   Tensor Backward(const Tensor& grad_out) override;
   std::string Name() const override { return "ReLU"; }
 
@@ -30,6 +36,8 @@ class LeakyReLU : public Layer {
  public:
   explicit LeakyReLU(float slope = 0.01f) : slope_(slope) {}
   Tensor Forward(const Tensor& x, bool training) override;
+  Tensor Forward(const Tensor& x, tensor::Workspace* ws) override;
+  bool ForwardInPlace(Tensor* x) override;
   Tensor Backward(const Tensor& grad_out) override;
   std::string Name() const override { return "LeakyReLU"; }
 
@@ -46,6 +54,8 @@ class FixedScale : public Layer {
  public:
   explicit FixedScale(float scale) : scale_(scale) {}
   Tensor Forward(const Tensor& x, bool training) override;
+  Tensor Forward(const Tensor& x, tensor::Workspace* ws) override;
+  bool ForwardInPlace(Tensor* x) override;
   Tensor Backward(const Tensor& grad_out) override;
   std::string Name() const override { return "FixedScale"; }
 
@@ -56,6 +66,8 @@ class FixedScale : public Layer {
 class Tanh : public Layer {
  public:
   Tensor Forward(const Tensor& x, bool training) override;
+  Tensor Forward(const Tensor& x, tensor::Workspace* ws) override;
+  bool ForwardInPlace(Tensor* x) override;
   Tensor Backward(const Tensor& grad_out) override;
   std::string Name() const override { return "Tanh"; }
 

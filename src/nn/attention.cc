@@ -30,72 +30,109 @@ MultiHeadSelfAttention::MultiHeadSelfAttention(std::int64_t dim,
   GLSC_CHECK_MSG(dim % heads == 0, "dim " << dim << " % heads " << heads);
 }
 
+namespace {
+
+// [B, L, 3D] rows -> per-head Q, K, V tensors [B, H, L, hd].
+void SplitHeads(const float* src, float* pq, float* pk, float* pv,
+                std::int64_t b, std::int64_t l, std::int64_t heads,
+                std::int64_t head_dim, std::int64_t dim) {
+  for (std::int64_t bi = 0; bi < b; ++bi) {
+    for (std::int64_t li = 0; li < l; ++li) {
+      const float* row = src + (bi * l + li) * 3 * dim;
+      for (std::int64_t h = 0; h < heads; ++h) {
+        float* dq = pq + ((bi * heads + h) * l + li) * head_dim;
+        float* dk = pk + ((bi * heads + h) * l + li) * head_dim;
+        float* dv = pv + ((bi * heads + h) * l + li) * head_dim;
+        for (std::int64_t d = 0; d < head_dim; ++d) {
+          dq[d] = row[h * head_dim + d];
+          dk[d] = row[dim + h * head_dim + d];
+          dv[d] = row[2 * dim + h * head_dim + d];
+        }
+      }
+    }
+  }
+}
+
+// scores = Q K^T / sqrt(hd); attn = softmax(scores); out = attn V.
+void AttentionCore(const float* pq, const float* pk, const float* pv,
+                   float* pattn, float* pout, std::int64_t bh_count,
+                   std::int64_t l, std::int64_t head_dim) {
+  const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim));
+  for (std::int64_t bh = 0; bh < bh_count; ++bh) {
+    const float* q = pq + bh * l * head_dim;
+    const float* k = pk + bh * l * head_dim;
+    const float* v = pv + bh * l * head_dim;
+    float* attn = pattn + bh * l * l;
+    float* out = pout + bh * l * head_dim;
+    Gemm(false, true, l, l, head_dim, scale, q, head_dim, k, head_dim, 0.0f,
+         attn, l);
+    const simd::KernelTable& kernels = simd::ActiveKernels();
+    for (std::int64_t r = 0; r < l; ++r) kernels.softmax_row(attn + r * l, l);
+    Gemm(false, false, l, head_dim, l, 1.0f, attn, l, v, head_dim, 0.0f, out,
+         head_dim);
+  }
+}
+
+// [B, H, L, hd] -> merged [B, L, D].
+void MergeHeads(const float* src, float* dst, std::int64_t b, std::int64_t l,
+                std::int64_t heads, std::int64_t head_dim, std::int64_t dim) {
+  for (std::int64_t bi = 0; bi < b; ++bi) {
+    for (std::int64_t h = 0; h < heads; ++h) {
+      for (std::int64_t li = 0; li < l; ++li) {
+        const float* s = src + ((bi * heads + h) * l + li) * head_dim;
+        float* d = dst + (bi * l + li) * dim + h * head_dim;
+        std::copy_n(s, head_dim, d);
+      }
+    }
+  }
+}
+
+}  // namespace
+
 Tensor MultiHeadSelfAttention::Forward(const Tensor& x, bool training) {
   GLSC_CHECK(x.rank() == 3 && x.dim(2) == dim_);
   const std::int64_t b = x.dim(0);
   const std::int64_t l = x.dim(1);
 
-  // [B, L, 3D] -> split into per-head Q, K, V tensors [B, H, L, hd].
   Tensor qkv = qkv_.Forward(x, training);
-  cached_q_ = Tensor({b, heads_, l, head_dim_});
-  cached_k_ = Tensor({b, heads_, l, head_dim_});
-  cached_v_ = Tensor({b, heads_, l, head_dim_});
-  {
-    const float* src = qkv.data();
-    float* pq = cached_q_.data();
-    float* pk = cached_k_.data();
-    float* pv = cached_v_.data();
-    for (std::int64_t bi = 0; bi < b; ++bi) {
-      for (std::int64_t li = 0; li < l; ++li) {
-        const float* row = src + (bi * l + li) * 3 * dim_;
-        for (std::int64_t h = 0; h < heads_; ++h) {
-          float* dq = pq + ((bi * heads_ + h) * l + li) * head_dim_;
-          float* dk = pk + ((bi * heads_ + h) * l + li) * head_dim_;
-          float* dv = pv + ((bi * heads_ + h) * l + li) * head_dim_;
-          for (std::int64_t d = 0; d < head_dim_; ++d) {
-            dq[d] = row[h * head_dim_ + d];
-            dk[d] = row[dim_ + h * head_dim_ + d];
-            dv[d] = row[2 * dim_ + h * head_dim_ + d];
-          }
-        }
-      }
-    }
-  }
+  cached_q_ = Tensor::Empty({b, heads_, l, head_dim_});
+  cached_k_ = Tensor::Empty({b, heads_, l, head_dim_});
+  cached_v_ = Tensor::Empty({b, heads_, l, head_dim_});
+  SplitHeads(qkv.data(), cached_q_.data(), cached_k_.data(), cached_v_.data(),
+             b, l, heads_, head_dim_, dim_);
 
-  // scores = Q K^T / sqrt(hd); attn = softmax(scores); out = attn V.
-  const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
-  cached_attn_ = Tensor({b, heads_, l, l});
-  Tensor heads_out({b, heads_, l, head_dim_});
-  for (std::int64_t bh = 0; bh < b * heads_; ++bh) {
-    const float* q = cached_q_.data() + bh * l * head_dim_;
-    const float* k = cached_k_.data() + bh * l * head_dim_;
-    const float* v = cached_v_.data() + bh * l * head_dim_;
-    float* attn = cached_attn_.data() + bh * l * l;
-    float* out = heads_out.data() + bh * l * head_dim_;
-    Gemm(false, true, l, l, head_dim_, scale, q, head_dim_, k, head_dim_, 0.0f,
-         attn, l);
-    const simd::KernelTable& kernels = simd::ActiveKernels();
-    for (std::int64_t r = 0; r < l; ++r) kernels.softmax_row(attn + r * l, l);
-    Gemm(false, false, l, head_dim_, l, 1.0f, attn, l, v, head_dim_, 0.0f, out,
-         head_dim_);
-  }
+  cached_attn_ = Tensor::Empty({b, heads_, l, l});
+  Tensor heads_out = Tensor::Empty({b, heads_, l, head_dim_});
+  AttentionCore(cached_q_.data(), cached_k_.data(), cached_v_.data(),
+                cached_attn_.data(), heads_out.data(), b * heads_, l,
+                head_dim_);
 
-  // Merge heads back to [B, L, D] and project.
-  Tensor merged({b, l, dim_});
-  {
-    const float* src = heads_out.data();
-    float* dst = merged.data();
-    for (std::int64_t bi = 0; bi < b; ++bi) {
-      for (std::int64_t h = 0; h < heads_; ++h) {
-        for (std::int64_t li = 0; li < l; ++li) {
-          const float* s = src + ((bi * heads_ + h) * l + li) * head_dim_;
-          float* d = dst + (bi * l + li) * dim_ + h * head_dim_;
-          std::copy_n(s, head_dim_, d);
-        }
-      }
-    }
-  }
+  Tensor merged = Tensor::Empty({b, l, dim_});
+  MergeHeads(heads_out.data(), merged.data(), b, l, heads_, head_dim_, dim_);
   return proj_.Forward(merged, training);
+}
+
+Tensor MultiHeadSelfAttention::Forward(const Tensor& x, tensor::Workspace* ws) {
+  GLSC_CHECK(x.rank() == 3 && x.dim(2) == dim_);
+  const std::int64_t b = x.dim(0);
+  const std::int64_t l = x.dim(1);
+
+  // All temporaries live in the arena; nothing is cached for backward.
+  Tensor qkv = qkv_.Forward(x, ws);
+  Tensor q = ws->NewTensor({b, heads_, l, head_dim_});
+  Tensor k = ws->NewTensor({b, heads_, l, head_dim_});
+  Tensor v = ws->NewTensor({b, heads_, l, head_dim_});
+  SplitHeads(qkv.data(), q.data(), k.data(), v.data(), b, l, heads_, head_dim_,
+             dim_);
+
+  Tensor attn = ws->NewTensor({b, heads_, l, l});
+  Tensor heads_out = ws->NewTensor({b, heads_, l, head_dim_});
+  AttentionCore(q.data(), k.data(), v.data(), attn.data(), heads_out.data(),
+                b * heads_, l, head_dim_);
+
+  Tensor merged = ws->NewTensor({b, l, dim_});
+  MergeHeads(heads_out.data(), merged.data(), b, l, heads_, head_dim_, dim_);
+  return proj_.Forward(merged, ws);
 }
 
 Tensor MultiHeadSelfAttention::Backward(const Tensor& grad_out) {
@@ -107,7 +144,7 @@ Tensor MultiHeadSelfAttention::Backward(const Tensor& grad_out) {
   Tensor g_merged = proj_.Backward(grad_out);
 
   // Un-merge heads: [B, L, D] -> [B, H, L, hd].
-  Tensor g_heads({b, heads_, l, head_dim_});
+  Tensor g_heads = Tensor::Empty({b, heads_, l, head_dim_});
   {
     const float* src = g_merged.data();
     float* dst = g_heads.data();
@@ -123,9 +160,9 @@ Tensor MultiHeadSelfAttention::Backward(const Tensor& grad_out) {
   }
 
   const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
-  Tensor g_q({b, heads_, l, head_dim_});
-  Tensor g_k({b, heads_, l, head_dim_});
-  Tensor g_v({b, heads_, l, head_dim_});
+  Tensor g_q = Tensor::Empty({b, heads_, l, head_dim_});
+  Tensor g_k = Tensor::Empty({b, heads_, l, head_dim_});
+  Tensor g_v = Tensor::Empty({b, heads_, l, head_dim_});
   std::vector<float> g_attn(static_cast<std::size_t>(l * l));
   std::vector<float> g_scores(static_cast<std::size_t>(l * l));
 
@@ -164,7 +201,7 @@ Tensor MultiHeadSelfAttention::Backward(const Tensor& grad_out) {
   }
 
   // Reassemble d_qkv [B, L, 3D] and run through the qkv projection.
-  Tensor g_qkv({b, l, 3 * dim_});
+  Tensor g_qkv = Tensor::Empty({b, l, 3 * dim_});
   {
     float* dst = g_qkv.data();
     const float* pq = g_q.data();

@@ -20,6 +20,7 @@ class MultiHeadSelfAttention : public Layer {
 
   // x: [B, L, D] -> [B, L, D]
   Tensor Forward(const Tensor& x, bool training) override;
+  Tensor Forward(const Tensor& x, tensor::Workspace* ws) override;
   Tensor Backward(const Tensor& grad_out) override;
   std::vector<Param*> Params() override;
   std::string Name() const override { return "MultiHeadSelfAttention"; }

@@ -24,31 +24,61 @@ Conv2d::Conv2d(std::int64_t in_channels, std::int64_t out_channels,
   bias_ = Param(name + ".bias", Tensor::Uniform({out_c_}, rng, -bound, bound));
 }
 
-Tensor Conv2d::Forward(const Tensor& x, bool /*training*/) {
+float* Conv2d::ColScratch(std::int64_t floats) {
+  if (static_cast<std::int64_t>(col_scratch_.size()) < floats) {
+    col_scratch_.resize(static_cast<std::size_t>(floats));
+  }
+  return col_scratch_.data();
+}
+
+float* Conv2d::GradColScratch(std::int64_t floats) {
+  if (static_cast<std::int64_t>(grad_col_scratch_.size()) < floats) {
+    grad_col_scratch_.resize(static_cast<std::size_t>(floats));
+  }
+  return grad_col_scratch_.data();
+}
+
+Shape Conv2d::OutputShape(const Tensor& x) const {
   GLSC_CHECK(x.rank() == 4 && x.dim(1) == in_c_);
-  cached_input_ = x;
+  const std::int64_t oh = ConvOutDim(x.dim(2), kernel_, stride_, pad_);
+  const std::int64_t ow = ConvOutDim(x.dim(3), kernel_, stride_, pad_);
+  GLSC_CHECK_MSG(oh > 0 && ow > 0,
+                 "conv output collapsed: in " << x.dim(2) << "x" << x.dim(3));
+  return {x.dim(0), out_c_, oh, ow};
+}
+
+void Conv2d::ForwardInto(const Tensor& x, Tensor* y) {
   const std::int64_t batch = x.dim(0);
   const std::int64_t h = x.dim(2);
   const std::int64_t w = x.dim(3);
-  const std::int64_t oh = ConvOutDim(h, kernel_, stride_, pad_);
-  const std::int64_t ow = ConvOutDim(w, kernel_, stride_, pad_);
-  GLSC_CHECK_MSG(oh > 0 && ow > 0, "conv output collapsed: in " << h << "x"
-                                                                << w);
   const std::int64_t col_rows = in_c_ * kernel_ * kernel_;
-  const std::int64_t col_cols = oh * ow;
+  const std::int64_t col_cols = y->dim(2) * y->dim(3);
 
-  Tensor y({batch, out_c_, oh, ow});
-  std::vector<float> columns(static_cast<std::size_t>(col_rows * col_cols));
+  // Im2Col writes every element (padding included), so the cached scratch
+  // needs no clearing between calls.
+  float* columns = ColScratch(col_rows * col_cols);
   for (std::int64_t b = 0; b < batch; ++b) {
     Im2Col(x.data() + b * in_c_ * h * w, in_c_, h, w, kernel_, kernel_,
-           stride_, pad_, columns.data());
+           stride_, pad_, columns);
     // y_b = W [out_c, col_rows] * columns [col_rows, col_cols], with the
     // per-channel bias fused into the final-panel write-back.
     GemmEx(false, false, out_c_, col_cols, col_rows, 1.0f,
-           weight_.value.data(), col_rows, columns.data(), col_cols, 0.0f,
-           y.data() + b * out_c_ * col_cols, col_cols, bias_.value.data(),
+           weight_.value.data(), col_rows, columns, col_cols, 0.0f,
+           y->data() + b * out_c_ * col_cols, col_cols, bias_.value.data(),
            GemmEpilogue::kBiasRow);
   }
+}
+
+Tensor Conv2d::Forward(const Tensor& x, bool /*training*/) {
+  Tensor y = Tensor::Empty(OutputShape(x));
+  cached_input_ = x;
+  ForwardInto(x, &y);
+  return y;
+}
+
+Tensor Conv2d::Forward(const Tensor& x, tensor::Workspace* ws) {
+  Tensor y = ws->NewTensor(OutputShape(x));
+  ForwardInto(x, &y);
   return y;
 }
 
@@ -63,18 +93,20 @@ Tensor Conv2d::Backward(const Tensor& grad_out) {
   const std::int64_t col_rows = in_c_ * kernel_ * kernel_;
   const std::int64_t col_cols = oh * ow;
 
-  Tensor grad_in(x.shape());
-  std::vector<float> columns(static_cast<std::size_t>(col_rows * col_cols));
-  std::vector<float> grad_cols(static_cast<std::size_t>(col_rows * col_cols));
+  Tensor grad_in = Tensor::Empty(x.shape());
+  // Shares the Forward scratch (same shape for same input geometry) plus a
+  // second buffer for dcolumns; neither re-allocates in steady state.
+  float* columns = ColScratch(col_rows * col_cols);
+  float* grad_cols = GradColScratch(col_rows * col_cols);
 
   for (std::int64_t b = 0; b < batch; ++b) {
     const float* g_b = grad_out.data() + b * out_c_ * col_cols;
 
     // dW += g_b [out_c, cols] * columns^T [cols, col_rows]
     Im2Col(x.data() + b * in_c_ * h * w, in_c_, h, w, kernel_, kernel_,
-           stride_, pad_, columns.data());
+           stride_, pad_, columns);
     Gemm(false, true, out_c_, col_rows, col_cols, 1.0f, g_b, col_cols,
-         columns.data(), col_cols, 1.0f, weight_.grad.data(), col_rows);
+         columns, col_cols, 1.0f, weight_.grad.data(), col_rows);
 
     // db += sum over spatial of g_b
     float* gb = bias_.grad.data();
@@ -86,10 +118,10 @@ Tensor Conv2d::Backward(const Tensor& grad_out) {
 
     // dcolumns = W^T [col_rows, out_c] * g_b [out_c, cols]; scatter to input.
     Gemm(true, false, col_rows, col_cols, out_c_, 1.0f, weight_.value.data(),
-         col_rows, g_b, col_cols, 0.0f, grad_cols.data(), col_cols);
+         col_rows, g_b, col_cols, 0.0f, grad_cols, col_cols);
     std::memset(grad_in.data() + b * in_c_ * h * w, 0,
                 static_cast<std::size_t>(in_c_ * h * w) * sizeof(float));
-    Col2Im(grad_cols.data(), in_c_, h, w, kernel_, kernel_, stride_, pad_,
+    Col2Im(grad_cols, in_c_, h, w, kernel_, kernel_, stride_, pad_,
            grad_in.data() + b * in_c_ * h * w);
   }
   cached_input_ = Tensor();
@@ -98,15 +130,10 @@ Tensor Conv2d::Backward(const Tensor& grad_out) {
 
 std::vector<Param*> Conv2d::Params() { return {&weight_, &bias_}; }
 
-Tensor NearestUpsample2x::Forward(const Tensor& x, bool /*training*/) {
-  GLSC_CHECK(x.rank() == 4);
-  cached_in_shape_ = x.shape();
-  const std::int64_t bc = x.dim(0) * x.dim(1);
-  const std::int64_t h = x.dim(2);
-  const std::int64_t w = x.dim(3);
-  Tensor y({x.dim(0), x.dim(1), 2 * h, 2 * w});
-  const float* src = x.data();
-  float* dst = y.data();
+namespace {
+
+void Upsample2xApply(const float* src, float* dst, std::int64_t bc,
+                     std::int64_t h, std::int64_t w) {
   for (std::int64_t p = 0; p < bc; ++p) {
     const float* sp = src + p * h * w;
     float* dp = dst + p * 4 * h * w;
@@ -121,6 +148,37 @@ Tensor NearestUpsample2x::Forward(const Tensor& x, bool /*training*/) {
       }
     }
   }
+}
+
+void AvgPool2xApply(const float* src, float* dst, std::int64_t bc,
+                    std::int64_t h, std::int64_t w) {
+  for (std::int64_t p = 0; p < bc; ++p) {
+    const float* sp = src + p * h * w;
+    float* dp = dst + p * (h / 2) * (w / 2);
+    for (std::int64_t i = 0; i < h / 2; ++i) {
+      for (std::int64_t j = 0; j < w / 2; ++j) {
+        const float* cell = sp + (2 * i) * w + 2 * j;
+        dp[i * (w / 2) + j] =
+            0.25f * (cell[0] + cell[1] + cell[w] + cell[w + 1]);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Tensor NearestUpsample2x::Forward(const Tensor& x, bool /*training*/) {
+  GLSC_CHECK(x.rank() == 4);
+  cached_in_shape_ = x.shape();
+  Tensor y = Tensor::Empty({x.dim(0), x.dim(1), 2 * x.dim(2), 2 * x.dim(3)});
+  Upsample2xApply(x.data(), y.data(), x.dim(0) * x.dim(1), x.dim(2), x.dim(3));
+  return y;
+}
+
+Tensor NearestUpsample2x::Forward(const Tensor& x, tensor::Workspace* ws) {
+  GLSC_CHECK(x.rank() == 4);
+  Tensor y = ws->NewTensor({x.dim(0), x.dim(1), 2 * x.dim(2), 2 * x.dim(3)});
+  Upsample2xApply(x.data(), y.data(), x.dim(0) * x.dim(1), x.dim(2), x.dim(3));
   return y;
 }
 
@@ -129,7 +187,7 @@ Tensor NearestUpsample2x::Backward(const Tensor& grad_out) {
   const std::int64_t bc = cached_in_shape_[0] * cached_in_shape_[1];
   const std::int64_t h = cached_in_shape_[2];
   const std::int64_t w = cached_in_shape_[3];
-  Tensor grad_in(cached_in_shape_);
+  Tensor grad_in = Tensor::Empty(cached_in_shape_);
   const float* g = grad_out.data();
   float* gi = grad_in.data();
   for (std::int64_t p = 0; p < bc; ++p) {
@@ -150,23 +208,16 @@ Tensor AvgPool2x::Forward(const Tensor& x, bool /*training*/) {
   GLSC_CHECK(x.rank() == 4);
   GLSC_CHECK(x.dim(2) % 2 == 0 && x.dim(3) % 2 == 0);
   cached_in_shape_ = x.shape();
-  const std::int64_t bc = x.dim(0) * x.dim(1);
-  const std::int64_t h = x.dim(2);
-  const std::int64_t w = x.dim(3);
-  Tensor y({x.dim(0), x.dim(1), h / 2, w / 2});
-  const float* src = x.data();
-  float* dst = y.data();
-  for (std::int64_t p = 0; p < bc; ++p) {
-    const float* sp = src + p * h * w;
-    float* dp = dst + p * (h / 2) * (w / 2);
-    for (std::int64_t i = 0; i < h / 2; ++i) {
-      for (std::int64_t j = 0; j < w / 2; ++j) {
-        const float* cell = sp + (2 * i) * w + 2 * j;
-        dp[i * (w / 2) + j] =
-            0.25f * (cell[0] + cell[1] + cell[w] + cell[w + 1]);
-      }
-    }
-  }
+  Tensor y = Tensor::Empty({x.dim(0), x.dim(1), x.dim(2) / 2, x.dim(3) / 2});
+  AvgPool2xApply(x.data(), y.data(), x.dim(0) * x.dim(1), x.dim(2), x.dim(3));
+  return y;
+}
+
+Tensor AvgPool2x::Forward(const Tensor& x, tensor::Workspace* ws) {
+  GLSC_CHECK(x.rank() == 4);
+  GLSC_CHECK(x.dim(2) % 2 == 0 && x.dim(3) % 2 == 0);
+  Tensor y = ws->NewTensor({x.dim(0), x.dim(1), x.dim(2) / 2, x.dim(3) / 2});
+  AvgPool2xApply(x.data(), y.data(), x.dim(0) * x.dim(1), x.dim(2), x.dim(3));
   return y;
 }
 
@@ -175,7 +226,7 @@ Tensor AvgPool2x::Backward(const Tensor& grad_out) {
   const std::int64_t bc = cached_in_shape_[0] * cached_in_shape_[1];
   const std::int64_t h = cached_in_shape_[2];
   const std::int64_t w = cached_in_shape_[3];
-  Tensor grad_in(cached_in_shape_);
+  Tensor grad_in = Tensor::Empty(cached_in_shape_);
   const float* g = grad_out.data();
   float* gi = grad_in.data();
   for (std::int64_t p = 0; p < bc; ++p) {

@@ -16,6 +16,7 @@ class Conv2d : public Layer {
 
   // x: [B, C_in, H, W] -> [B, C_out, OH, OW]
   Tensor Forward(const Tensor& x, bool training) override;
+  Tensor Forward(const Tensor& x, tensor::Workspace* ws) override;
   Tensor Backward(const Tensor& grad_out) override;
   std::vector<Param*> Params() override;
   std::string Name() const override { return "Conv2d"; }
@@ -24,10 +25,24 @@ class Conv2d : public Layer {
   std::int64_t out_channels() const { return out_c_; }
 
  private:
+  // Shared forward kernel: [B, C_out, OH, OW] output shape for x, and the
+  // im2col + fused-bias GEMM loop writing into the (Empty or arena) output.
+  Shape OutputShape(const Tensor& x) const;
+  void ForwardInto(const Tensor& x, Tensor* y);
+
+  // Grow-only im2col scratch shared by Forward (any overload) and Backward,
+  // so repeated calls on same-shaped inputs never re-allocate. Layer
+  // instances are confined to one thread (sessions clone per worker), so a
+  // member scratch is safe.
+  float* ColScratch(std::int64_t floats);
+  float* GradColScratch(std::int64_t floats);
+
   std::int64_t in_c_, out_c_, kernel_, stride_, pad_;
   Param weight_;  // [out_c, in_c * k * k]
   Param bias_;    // [out_c]
   Tensor cached_input_;
+  std::vector<float> col_scratch_;       // im2col columns
+  std::vector<float> grad_col_scratch_;  // backward dcolumns
 };
 
 // Nearest-neighbour 2x spatial upsampling. Backward is a 2x2 sum-pool of the
@@ -35,6 +50,7 @@ class Conv2d : public Layer {
 class NearestUpsample2x : public Layer {
  public:
   Tensor Forward(const Tensor& x, bool training) override;
+  Tensor Forward(const Tensor& x, tensor::Workspace* ws) override;
   Tensor Backward(const Tensor& grad_out) override;
   std::string Name() const override { return "NearestUpsample2x"; }
 
@@ -47,6 +63,7 @@ class NearestUpsample2x : public Layer {
 class AvgPool2x : public Layer {
  public:
   Tensor Forward(const Tensor& x, bool training) override;
+  Tensor Forward(const Tensor& x, tensor::Workspace* ws) override;
   Tensor Backward(const Tensor& grad_out) override;
   std::string Name() const override { return "AvgPool2x"; }
 

@@ -3,12 +3,16 @@
 #pragma once
 
 #include "tensor/tensor.h"
+#include "tensor/workspace.h"
 
 namespace glsc::nn {
 
 // Returns a [dim] embedding for a single integer timestep:
 // half sine, half cosine over log-spaced frequencies.
 Tensor SinusoidalTimeEmbedding(std::int64_t timestep, std::int64_t dim);
+// Workspace variant: the result borrows arena memory.
+Tensor SinusoidalTimeEmbedding(std::int64_t timestep, std::int64_t dim,
+                               tensor::Workspace* ws);
 
 // Batched version: [count] timesteps -> [count, dim].
 Tensor SinusoidalTimeEmbeddingBatch(const std::vector<std::int64_t>& timesteps,

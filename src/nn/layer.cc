@@ -2,9 +2,33 @@
 
 namespace glsc::nn {
 
+Tensor Layer::Forward(const Tensor& x, tensor::Workspace* ws) {
+  (void)ws;
+  return Forward(x, /*training=*/false);
+}
+
+bool Layer::ForwardInPlace(Tensor* x) {
+  (void)x;
+  return false;
+}
+
 Tensor Sequential::Forward(const Tensor& x, bool training) {
   Tensor h = x;
   for (auto& layer : layers_) h = layer->Forward(h, training);
+  return h;
+}
+
+Tensor Sequential::Forward(const Tensor& x, tensor::Workspace* ws) {
+  Tensor h = x;
+  // Intermediates produced inside this chain are exclusively ours, so
+  // elementwise layers and norms may overwrite them in place; the caller's
+  // input (position 0) is never mutated.
+  bool chain_owned = false;
+  for (auto& layer : layers_) {
+    if (chain_owned && layer->ForwardInPlace(&h)) continue;
+    h = layer->Forward(h, ws);
+    chain_owned = true;
+  }
   return h;
 }
 

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "tensor/tensor.h"
+#include "tensor/workspace.h"
 #include "util/bytes.h"
 
 namespace glsc::nn {
@@ -38,6 +39,23 @@ class Layer {
   // `training` toggles noise-style behaviours (dropout would live here; the
   // hyperprior's additive-noise quantization proxy is handled by the model).
   virtual Tensor Forward(const Tensor& x, bool training) = 0;
+
+  // Workspace-aware INFERENCE forward: the result (and any scratch) is
+  // allocated from `ws` (non-null), so the returned tensor borrows arena
+  // memory valid only until the caller's enclosing Workspace::Scope rewinds.
+  // Overriding layers cache nothing — never follow with Backward.
+  // Numerically identical to Forward(x, /*training=*/false). The default
+  // falls back to the allocating inference forward, which MAY cache the
+  // input for Backward — a layer fed arena-backed inputs on a workspace path
+  // must override this (every built-in layer does) or it would retain a
+  // dangling view past the scope rewind.
+  virtual Tensor Forward(const Tensor& x, tensor::Workspace* ws);
+
+  // In-place inference where shapes allow (elementwise layers, norms):
+  // overwrites *x with the layer output and returns true; the default
+  // returns false and the caller falls back to Forward. Only valid when the
+  // caller exclusively owns x's storage.
+  virtual bool ForwardInPlace(Tensor* x);
 
   // Receives dL/d(output), returns dL/d(input), accumulates into param grads.
   virtual Tensor Backward(const Tensor& grad_out) = 0;
@@ -66,6 +84,7 @@ class Sequential : public Layer {
   }
 
   Tensor Forward(const Tensor& x, bool training) override;
+  Tensor Forward(const Tensor& x, tensor::Workspace* ws) override;
   Tensor Backward(const Tensor& grad_out) override;
   std::vector<Param*> Params() override;
   std::string Name() const override { return "Sequential"; }

@@ -24,8 +24,21 @@ Tensor Dense::Forward(const Tensor& x, bool /*training*/) {
   const std::int64_t rows = x.numel() / in_;
   Shape out_shape = x.shape();
   out_shape.back() = out_;
-  Tensor y(out_shape);
+  Tensor y = Tensor::Empty(out_shape);
   // y = x * W^T, with the feature bias fused into the final-panel write-back.
+  GemmEx(false, true, rows, out_, in_, 1.0f, x.data(), in_,
+         weight_.value.data(), in_, 0.0f, y.data(), out_,
+         has_bias_ ? bias_.value.data() : nullptr,
+         has_bias_ ? GemmEpilogue::kBiasCol : GemmEpilogue::kNone);
+  return y;
+}
+
+Tensor Dense::Forward(const Tensor& x, tensor::Workspace* ws) {
+  GLSC_CHECK(x.rank() >= 1 && x.shape().back() == in_);
+  const std::int64_t rows = x.numel() / in_;
+  Shape out_shape = x.shape();
+  out_shape.back() = out_;
+  Tensor y = ws->NewTensor(std::move(out_shape));
   GemmEx(false, true, rows, out_, in_, 1.0f, x.data(), in_,
          weight_.value.data(), in_, 0.0f, y.data(), out_,
          has_bias_ ? bias_.value.data() : nullptr,
@@ -50,7 +63,7 @@ Tensor Dense::Backward(const Tensor& grad_out) {
     }
   }
   // dx = g * W      ([rows, out] x [out, in])
-  Tensor grad_in(x.shape());
+  Tensor grad_in = Tensor::Empty(x.shape());
   Gemm(false, false, rows, in_, out_, 1.0f, grad_out.data(), out_,
        weight_.value.data(), in_, 0.0f, grad_in.data(), in_);
   cached_input_ = Tensor();

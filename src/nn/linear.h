@@ -13,6 +13,7 @@ class Dense : public Layer {
         bool bias = true, const std::string& name = "dense");
 
   Tensor Forward(const Tensor& x, bool training) override;
+  Tensor Forward(const Tensor& x, tensor::Workspace* ws) override;
   Tensor Backward(const Tensor& grad_out) override;
   std::vector<Param*> Params() override;
   std::string Name() const override { return "Dense"; }

@@ -5,6 +5,52 @@
 #include "tensor/simd/kernels.h"
 
 namespace glsc::nn {
+namespace {
+
+// Inference-only normalization kernels: no mean/inv_std caching (that exists
+// for Backward), and in-place safe — each group/row's moments are fully
+// reduced before its elements are overwritten.
+void GroupNormApply(const float* px, float* py, std::int64_t batch,
+                    std::int64_t channels, std::int64_t groups, std::int64_t hw,
+                    float eps, const float* gamma, const float* beta) {
+  const std::int64_t ch_per_g = channels / groups;
+  const std::int64_t group_size = ch_per_g * hw;
+  const simd::KernelTable& kernels = simd::ActiveKernels();
+  for (std::int64_t b = 0; b < batch; ++b) {
+    for (std::int64_t g = 0; g < groups; ++g) {
+      const float* xs = px + (b * channels + g * ch_per_g) * hw;
+      double sum = 0.0, sumsq = 0.0;
+      kernels.moments(xs, group_size, &sum, &sumsq);
+      const double mean = sum / group_size;
+      const double var = sumsq / group_size - mean * mean;
+      const float inv_std = static_cast<float>(1.0 / std::sqrt(var + eps));
+      float* ys = py + (b * channels + g * ch_per_g) * hw;
+      for (std::int64_t c = 0; c < ch_per_g; ++c) {
+        kernels.norm_affine(xs + c * hw, static_cast<float>(mean), inv_std,
+                            gamma[g * ch_per_g + c], beta[g * ch_per_g + c],
+                            ys + c * hw, hw);
+      }
+    }
+  }
+}
+
+void LayerNormApply(const float* px, float* py, std::int64_t rows,
+                    std::int64_t dim, float eps, const float* gamma,
+                    const float* beta) {
+  const simd::KernelTable& kernels = simd::ActiveKernels();
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* xs = px + r * dim;
+    double sum = 0.0, sumsq = 0.0;
+    kernels.moments(xs, dim, &sum, &sumsq);
+    const double mean = sum / dim;
+    const double var = sumsq / dim - mean * mean;
+    const float inv_std = static_cast<float>(1.0 / std::sqrt(var + eps));
+    kernels.norm_affine_vec(xs, static_cast<float>(mean), inv_std, gamma, beta,
+                            py + r * dim, dim);
+  }
+}
+
+}  // namespace
 
 GroupNorm::GroupNorm(std::int64_t groups, std::int64_t channels,
                      const std::string& name, float eps)
@@ -26,7 +72,7 @@ Tensor GroupNorm::Forward(const Tensor& x, bool /*training*/) {
   cached_mean_.assign(static_cast<std::size_t>(batch * groups_), 0.0f);
   cached_inv_std_.assign(static_cast<std::size_t>(batch * groups_), 0.0f);
 
-  Tensor y(x.shape());
+  Tensor y = Tensor::Empty(x.shape());
   const float* px = x.data();
   float* py = y.data();
   const float* pg = gamma_.value.data();
@@ -55,6 +101,23 @@ Tensor GroupNorm::Forward(const Tensor& x, bool /*training*/) {
   return y;
 }
 
+Tensor GroupNorm::Forward(const Tensor& x, tensor::Workspace* ws) {
+  GLSC_CHECK(x.rank() == 4 && x.dim(1) == channels_);
+  Tensor y = ws->NewTensor(x.shape());
+  GroupNormApply(x.data(), y.data(), x.dim(0), channels_, groups_,
+                 x.dim(2) * x.dim(3), eps_, gamma_.value.data(),
+                 beta_.value.data());
+  return y;
+}
+
+bool GroupNorm::ForwardInPlace(Tensor* x) {
+  GLSC_CHECK(x->rank() == 4 && x->dim(1) == channels_);
+  GroupNormApply(x->data(), x->data(), x->dim(0), channels_, groups_,
+                 x->dim(2) * x->dim(3), eps_, gamma_.value.data(),
+                 beta_.value.data());
+  return true;
+}
+
 Tensor GroupNorm::Backward(const Tensor& grad_out) {
   GLSC_CHECK(cached_input_.defined());
   const Tensor& x = cached_input_;
@@ -63,7 +126,7 @@ Tensor GroupNorm::Backward(const Tensor& grad_out) {
   const std::int64_t hw = x.dim(2) * x.dim(3);
   const std::int64_t m = ch_per_g * hw;  // normalization group size
 
-  Tensor grad_in(x.shape());
+  Tensor grad_in = Tensor::Empty(x.shape());
   const float* px = x.data();
   const float* pgo = grad_out.data();
   float* pgi = grad_in.data();
@@ -131,7 +194,7 @@ Tensor LayerNorm::Forward(const Tensor& x, bool /*training*/) {
   cached_mean_.assign(static_cast<std::size_t>(rows), 0.0f);
   cached_inv_std_.assign(static_cast<std::size_t>(rows), 0.0f);
 
-  Tensor y(x.shape());
+  Tensor y = Tensor::Empty(x.shape());
   const float* px = x.data();
   float* py = y.data();
   const float* pg = gamma_.value.data();
@@ -152,11 +215,26 @@ Tensor LayerNorm::Forward(const Tensor& x, bool /*training*/) {
   return y;
 }
 
+Tensor LayerNorm::Forward(const Tensor& x, tensor::Workspace* ws) {
+  GLSC_CHECK(x.shape().back() == dim_);
+  Tensor y = ws->NewTensor(x.shape());
+  LayerNormApply(x.data(), y.data(), x.numel() / dim_, dim_, eps_,
+                 gamma_.value.data(), beta_.value.data());
+  return y;
+}
+
+bool LayerNorm::ForwardInPlace(Tensor* x) {
+  GLSC_CHECK(x->shape().back() == dim_);
+  LayerNormApply(x->data(), x->data(), x->numel() / dim_, dim_, eps_,
+                 gamma_.value.data(), beta_.value.data());
+  return true;
+}
+
 Tensor LayerNorm::Backward(const Tensor& grad_out) {
   GLSC_CHECK(cached_input_.defined());
   const Tensor& x = cached_input_;
   const std::int64_t rows = x.numel() / dim_;
-  Tensor grad_in(x.shape());
+  Tensor grad_in = Tensor::Empty(x.shape());
   const float* px = x.data();
   const float* pgo = grad_out.data();
   float* pgi = grad_in.data();

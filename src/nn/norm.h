@@ -14,6 +14,8 @@ class GroupNorm : public Layer {
 
   // x: [B, C, H, W]
   Tensor Forward(const Tensor& x, bool training) override;
+  Tensor Forward(const Tensor& x, tensor::Workspace* ws) override;
+  bool ForwardInPlace(Tensor* x) override;
   Tensor Backward(const Tensor& grad_out) override;
   std::vector<Param*> Params() override;
   std::string Name() const override { return "GroupNorm"; }
@@ -36,6 +38,8 @@ class LayerNorm : public Layer {
             float eps = 1e-5f);
 
   Tensor Forward(const Tensor& x, bool training) override;
+  Tensor Forward(const Tensor& x, tensor::Workspace* ws) override;
+  bool ForwardInPlace(Tensor* x) override;
   Tensor Backward(const Tensor& grad_out) override;
   std::vector<Param*> Params() override;
   std::string Name() const override { return "LayerNorm"; }

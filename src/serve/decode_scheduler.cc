@@ -23,8 +23,10 @@ DecodeScheduler::DecodeScheduler(const core::ArchiveReader* reader,
     workers_.push_back(clones_.back().get());
   }
   worker_mu_.reserve(workers_.size());
+  workspaces_.reserve(workers_.size());
   for (std::size_t i = 0; i < workers_.size(); ++i) {
     worker_mu_.push_back(std::make_unique<std::mutex>());
+    workspaces_.push_back(std::make_unique<tensor::Workspace>());
   }
 }
 
@@ -55,10 +57,11 @@ std::vector<Tensor> DecodeScheduler::Fetch(
     const std::size_t record = indices[position];
     const std::vector<std::uint8_t>* view = reader_->PayloadView(record);
     std::lock_guard<std::mutex> lock(*worker_mu_[worker]);
-    Tensor recon =
-        view != nullptr
-            ? workers_[worker]->DecompressWindow(*view)
-            : workers_[worker]->DecompressWindow(reader_->ReadPayload(record));
+    tensor::Workspace* ws = workspaces_[worker].get();
+    Tensor recon = view != nullptr
+                       ? workers_[worker]->DecompressWindow(*view, ws)
+                       : workers_[worker]->DecompressWindow(
+                             reader_->ReadPayload(record), ws);
     GLSC_CHECK_MSG(recon.rank() == 3 && recon.dim(1) == shape[2] &&
                        recon.dim(2) == shape[3],
                    "decoded window geometry mismatch");

@@ -76,6 +76,10 @@ class DecodeScheduler {
   ScheduleOptions options_;
   std::vector<api::Compressor*> workers_;  // [codec, clones...]
   std::vector<std::unique_ptr<api::Compressor>> clones_;
+  // One decode arena per worker slot (used under the matching worker_mu_, so
+  // single-threaded access is guaranteed); model-based codecs reuse it across
+  // every record the slot decodes.
+  std::vector<std::unique_ptr<tensor::Workspace>> workspaces_;
   // One lock per worker slot: concurrent Get() calls both fan out over the
   // same workers_ array, and codec instances are not thread-safe. Held per
   // record decode, never across a pool wait, so queries interleave on worker

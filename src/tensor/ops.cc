@@ -12,7 +12,7 @@ Tensor Binary(const Tensor& a, const Tensor& b, F&& fn) {
   GLSC_CHECK_MSG(a.shape() == b.shape(),
                  "shape mismatch " << ShapeToString(a.shape()) << " vs "
                                    << ShapeToString(b.shape()));
-  Tensor out(a.shape());
+  Tensor out = Tensor::Empty(a.shape());
   const float* pa = a.data();
   const float* pb = b.data();
   float* po = out.data();
@@ -59,7 +59,7 @@ void MulScalarInPlace(Tensor* a, float s) {
 }
 
 Tensor Map(const Tensor& a, const std::function<float(float)>& fn) {
-  Tensor out(a.shape());
+  Tensor out = Tensor::Empty(a.shape());
   const float* pa = a.data();
   float* po = out.data();
   const std::int64_t n = a.numel();
@@ -81,6 +81,18 @@ Tensor Clamp(const Tensor& a, float lo, float hi) {
 }
 Tensor Round(const Tensor& a) {
   return Map(a, [](float x) { return std::nearbyint(x); });
+}
+
+void ClampInPlace(Tensor* a, float lo, float hi) {
+  float* p = a->data();
+  const std::int64_t n = a->numel();
+  for (std::int64_t i = 0; i < n; ++i) p[i] = std::clamp(p[i], lo, hi);
+}
+
+void RoundInPlace(Tensor* a) {
+  float* p = a->data();
+  const std::int64_t n = a->numel();
+  for (std::int64_t i = 0; i < n; ++i) p[i] = std::nearbyint(p[i]);
 }
 
 double SumSquares(const Tensor& a) {

@@ -31,6 +31,10 @@ Tensor Abs(const Tensor& a);
 Tensor Clamp(const Tensor& a, float lo, float hi);
 Tensor Round(const Tensor& a);
 
+// In-place unary variants for allocation-free hot paths.
+void ClampInPlace(Tensor* a, float lo, float hi);
+void RoundInPlace(Tensor* a);
+
 // ---- reductions ----
 // Sum of squared elements.
 double SumSquares(const Tensor& a);

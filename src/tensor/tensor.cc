@@ -2,10 +2,26 @@
 
 #include <algorithm>
 #include <cmath>
+#include <new>
 #include <numeric>
 #include <sstream>
 
+#include "tensor/workspace.h"
+
 namespace glsc {
+namespace {
+
+// Owned storage is 64-byte aligned so every tensor (not just arena views)
+// satisfies the widest SIMD alignment the AVX-512 kernels could use.
+constexpr std::size_t kTensorAlignment = 64;
+
+struct AlignedDeleter {
+  void operator()(float* p) const {
+    ::operator delete[](p, std::align_val_t{kTensorAlignment});
+  }
+};
+
+}  // namespace
 
 std::string ShapeToString(const Shape& shape) {
   std::ostringstream os;
@@ -27,14 +43,50 @@ std::int64_t ShapeNumel(const Shape& shape) {
   return n;
 }
 
+Tensor::Tensor(Shape shape) {
+  *this = Empty(std::move(shape));
+  std::fill_n(ptr_, numel(), 0.0f);
+}
+
+Tensor::Tensor(Shape shape, std::vector<float> values) {
+  GLSC_CHECK_MSG(static_cast<std::int64_t>(values.size()) == ShapeNumel(shape),
+                 "value count " << values.size() << " != numel of "
+                                << ShapeToString(shape));
+  shape_ = std::move(shape);
+  auto vec = std::make_shared<std::vector<float>>(std::move(values));
+  ptr_ = vec->data();
+  storage_ = std::move(vec);
+  defined_ = true;
+}
+
+Tensor Tensor::Empty(Shape shape) {
+  Tensor t;
+  t.shape_ = std::move(shape);
+  const std::size_t n = static_cast<std::size_t>(ShapeNumel(t.shape_));
+  float* raw = static_cast<float*>(::operator new[](
+      n * sizeof(float), std::align_val_t{kTensorAlignment}));
+  t.storage_ = std::shared_ptr<float>(raw, AlignedDeleter{});
+  t.ptr_ = raw;
+  t.defined_ = true;
+  return t;
+}
+
+Tensor Tensor::Borrowed(float* data, Shape shape) {
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.ptr_ = data;
+  t.defined_ = true;
+  return t;
+}
+
 Tensor Tensor::Full(Shape shape, float value) {
-  Tensor t(std::move(shape));
+  Tensor t = Empty(std::move(shape));
   t.Fill(value);
   return t;
 }
 
 Tensor Tensor::Randn(Shape shape, Rng& rng, float stddev) {
-  Tensor t(std::move(shape));
+  Tensor t = Empty(std::move(shape));
   float* p = t.data();
   const std::int64_t n = t.numel();
   for (std::int64_t i = 0; i < n; ++i) p[i] = stddev * rng.NormalF();
@@ -42,7 +94,7 @@ Tensor Tensor::Randn(Shape shape, Rng& rng, float stddev) {
 }
 
 Tensor Tensor::Uniform(Shape shape, Rng& rng, float lo, float hi) {
-  Tensor t(std::move(shape));
+  Tensor t = Empty(std::move(shape));
   float* p = t.data();
   const std::int64_t n = t.numel();
   for (std::int64_t i = 0; i < n; ++i) p[i] = rng.UniformF(lo, hi);
@@ -50,7 +102,7 @@ Tensor Tensor::Uniform(Shape shape, Rng& rng, float lo, float hi) {
 }
 
 Tensor Tensor::Arange(std::int64_t n) {
-  Tensor t({n});
+  Tensor t = Empty({n});
   for (std::int64_t i = 0; i < n; ++i) t[i] = static_cast<float>(i);
   return t;
 }
@@ -64,7 +116,7 @@ float& Tensor::At(std::initializer_list<std::int64_t> idx) {
     flat = flat * shape_[axis] + i;
     ++axis;
   }
-  return (*data_)[static_cast<std::size_t>(flat)];
+  return ptr_[flat];
 }
 
 float Tensor::At(std::initializer_list<std::int64_t> idx) const {
@@ -73,7 +125,9 @@ float Tensor::At(std::initializer_list<std::int64_t> idx) const {
 
 Tensor Tensor::Clone() const {
   GLSC_CHECK(defined());
-  return Tensor(shape_, *data_);
+  Tensor t = Empty(shape_);
+  if (numel() > 0) std::copy_n(ptr_, numel(), t.ptr_);
+  return t;
 }
 
 Tensor Tensor::Reshape(Shape shape) const {
@@ -82,17 +136,15 @@ Tensor Tensor::Reshape(Shape shape) const {
                             << ShapeToString(shape) << " changes numel");
   Tensor t;
   t.shape_ = std::move(shape);
-  t.data_ = data_;
+  t.storage_ = storage_;
+  t.ptr_ = ptr_;
+  t.defined_ = defined_;
   return t;
 }
 
-Tensor Tensor::Permute(const std::vector<int>& perm) const {
-  GLSC_CHECK(perm.size() == shape_.size());
+void Tensor::PermuteInto(const std::vector<int>& perm, Tensor* out) const {
   const std::size_t r = rank();
-  GLSC_CHECK_MSG(r <= 5, "Permute supports rank<=5");
-  Shape out_shape(r);
-  for (std::size_t i = 0; i < r; ++i) out_shape[i] = shape_[perm[i]];
-  Tensor out(out_shape);
+  const Shape& out_shape = out->shape();
 
   // Compute input strides, then iterate output positions in order.
   std::vector<std::int64_t> in_strides(r, 1);
@@ -103,7 +155,7 @@ Tensor Tensor::Permute(const std::vector<int>& perm) const {
   for (std::size_t i = 0; i < r; ++i) out_to_in_stride[i] = in_strides[perm[i]];
 
   const float* src = data();
-  float* dst = out.data();
+  float* dst = out->data();
   std::vector<std::int64_t> idx(r, 0);
   const std::int64_t n = numel();
   std::int64_t in_off = 0;
@@ -118,6 +170,28 @@ Tensor Tensor::Permute(const std::vector<int>& perm) const {
       idx[axis] = 0;
     }
   }
+}
+
+Tensor Tensor::Permute(const std::vector<int>& perm) const {
+  GLSC_CHECK(perm.size() == shape_.size());
+  const std::size_t r = rank();
+  GLSC_CHECK_MSG(r <= 5, "Permute supports rank<=5");
+  Shape out_shape(r);
+  for (std::size_t i = 0; i < r; ++i) out_shape[i] = shape_[perm[i]];
+  Tensor out = Empty(std::move(out_shape));
+  PermuteInto(perm, &out);
+  return out;
+}
+
+Tensor Tensor::Permute(const std::vector<int>& perm,
+                       tensor::Workspace* ws) const {
+  GLSC_CHECK(perm.size() == shape_.size());
+  const std::size_t r = rank();
+  GLSC_CHECK_MSG(r <= 5, "Permute supports rank<=5");
+  Shape out_shape(r);
+  for (std::size_t i = 0; i < r; ++i) out_shape[i] = shape_[perm[i]];
+  Tensor out = ws->NewTensor(std::move(out_shape));
+  PermuteInto(perm, &out);
   return out;
 }
 
@@ -127,27 +201,25 @@ Tensor Tensor::Slice0(std::int64_t begin, std::int64_t end) const {
   Shape out_shape = shape_;
   out_shape[0] = end - begin;
   const std::int64_t row = numel() / std::max<std::int64_t>(shape_[0], 1);
-  Tensor out(out_shape);
+  Tensor out = Empty(out_shape);
   std::copy_n(data() + begin * row, (end - begin) * row, out.data());
   return out;
 }
 
-void Tensor::Fill(float value) {
-  std::fill(data_->begin(), data_->end(), value);
-}
+void Tensor::Fill(float value) { std::fill_n(ptr_, numel(), value); }
 
 float Tensor::MinValue() const {
   GLSC_CHECK(numel() > 0);
-  return *std::min_element(data_->begin(), data_->end());
+  return *std::min_element(ptr_, ptr_ + numel());
 }
 
 float Tensor::MaxValue() const {
   GLSC_CHECK(numel() > 0);
-  return *std::max_element(data_->begin(), data_->end());
+  return *std::max_element(ptr_, ptr_ + numel());
 }
 
 double Tensor::Sum() const {
-  return std::accumulate(data_->begin(), data_->end(), 0.0);
+  return std::accumulate(ptr_, ptr_ + numel(), 0.0);
 }
 
 double Tensor::Mean() const {
@@ -156,8 +228,9 @@ double Tensor::Mean() const {
 }
 
 bool Tensor::AllFinite() const {
-  for (const float v : *data_) {
-    if (!std::isfinite(v)) return false;
+  const std::int64_t n = numel();
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (!std::isfinite(ptr_[i])) return false;
   }
   return true;
 }
@@ -174,7 +247,7 @@ Tensor Concat0(const std::vector<Tensor>& parts) {
     total += p.dim(0);
   }
   out_shape[0] = total;
-  Tensor out(out_shape);
+  Tensor out = Tensor::Empty(out_shape);
   float* dst = out.data();
   for (const auto& p : parts) {
     std::copy_n(p.data(), p.numel(), dst);

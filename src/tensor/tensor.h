@@ -3,13 +3,19 @@
 // post-processor all operate on `Tensor`.
 //
 // Design notes
-//  - Always contiguous and owning. Layers cache activations by value; an
-//    explicit-backward engine does not need views or strides, and contiguity
-//    keeps every kernel a flat loop the compiler can vectorize.
-//  - Copy is cheap-ish (shared_ptr to storage) but WRITES are not
+//  - Always contiguous. Storage is either OWNED (shared, 64-byte aligned) or
+//    BORROWED (a view into a tensor::Workspace arena — see
+//    tensor/workspace.h). Layers cache activations by value; an
+//    explicit-backward engine does not need strides, and contiguity keeps
+//    every kernel a flat loop the compiler can vectorize.
+//  - Copy is cheap-ish (shared storage handle) but WRITES are not
 //    copy-on-write: use Clone() before mutating a tensor that may be aliased.
 //    All library code follows the convention that functions returning Tensor
-//    return freshly-allocated storage.
+//    return freshly-allocated storage, EXCEPT the workspace-aware inference
+//    overloads, which return arena-backed views valid until the enclosing
+//    Workspace::Scope resets.
+//  - `Tensor(shape)` / `Zeros` zero-fill; `Empty` skips the memset for hot
+//    paths that overwrite every element before reading any.
 #pragma once
 
 #include <cstdint>
@@ -23,6 +29,10 @@
 
 namespace glsc {
 
+namespace tensor {
+class Workspace;
+}  // namespace tensor
+
 using Shape = std::vector<std::int64_t>;
 
 std::string ShapeToString(const Shape& shape);
@@ -32,28 +42,51 @@ class Tensor {
  public:
   Tensor() = default;
 
-  explicit Tensor(Shape shape)
-      : shape_(std::move(shape)),
-        data_(std::make_shared<std::vector<float>>(
-            static_cast<std::size_t>(ShapeNumel(shape_)), 0.0f)) {}
-
-  Tensor(Shape shape, std::vector<float> values)
-      : shape_(std::move(shape)),
-        data_(std::make_shared<std::vector<float>>(std::move(values))) {
-    GLSC_CHECK_MSG(static_cast<std::int64_t>(data_->size()) ==
-                       ShapeNumel(shape_),
-                   "value count " << data_->size() << " != numel of "
-                                  << ShapeToString(shape_));
+  Tensor(const Tensor&) = default;
+  Tensor& operator=(const Tensor&) = default;
+  // Moves must reset the source: ptr_ is raw, so default-moving would leave
+  // the source "defined" with a pointer whose storage keep-alive was taken —
+  // a use-after-free the shared_ptr-only layout could not express. A
+  // moved-from Tensor is indistinguishable from a default-constructed one.
+  Tensor(Tensor&& other) noexcept { *this = std::move(other); }
+  Tensor& operator=(Tensor&& other) noexcept {
+    if (this != &other) {
+      shape_ = std::move(other.shape_);
+      storage_ = std::move(other.storage_);
+      ptr_ = other.ptr_;
+      defined_ = other.defined_;
+      other.shape_.clear();
+      other.ptr_ = nullptr;
+      other.defined_ = false;
+    }
+    return *this;
   }
 
+  // Owned, zero-filled.
+  explicit Tensor(Shape shape);
+
+  // Owned, adopting `values` (no copy).
+  Tensor(Shape shape, std::vector<float> values);
+
   static Tensor Zeros(Shape shape) { return Tensor(std::move(shape)); }
+  // Owned, UNINITIALIZED storage: every element must be written before it is
+  // read. Use at call sites that fully overwrite the buffer (GEMM outputs
+  // with beta = 0, elementwise op results, im2col targets); keep Zeros where
+  // partial writes rely on zero-fill.
+  static Tensor Empty(Shape shape);
+  // Non-owning view over caller-managed memory (typically a Workspace arena).
+  // The caller must keep `data` alive and must not let the view escape the
+  // arena scope that produced it. Clone() lifts a view into owned storage.
+  static Tensor Borrowed(float* data, Shape shape);
   static Tensor Full(Shape shape, float value);
   static Tensor Randn(Shape shape, Rng& rng, float stddev = 1.0f);
   static Tensor Uniform(Shape shape, Rng& rng, float lo, float hi);
   // 1D ramp [0, n), useful in tests.
   static Tensor Arange(std::int64_t n);
 
-  bool defined() const { return data_ != nullptr; }
+  bool defined() const { return defined_; }
+  // True for arena/borrowed views (storage not owned by this tensor).
+  bool borrowed() const { return defined_ && storage_ == nullptr; }
   const Shape& shape() const { return shape_; }
   std::int64_t dim(std::size_t i) const {
     GLSC_DCHECK(i < shape_.size());
@@ -62,28 +95,28 @@ class Tensor {
   std::size_t rank() const { return shape_.size(); }
   std::int64_t numel() const { return ShapeNumel(shape_); }
 
-  float* data() { return data_->data(); }
-  const float* data() const { return data_->data(); }
+  float* data() { return ptr_; }
+  const float* data() const { return ptr_; }
 
-  float& operator[](std::int64_t i) { return (*data_)[static_cast<std::size_t>(i)]; }
-  float operator[](std::int64_t i) const {
-    return (*data_)[static_cast<std::size_t>(i)];
-  }
+  float& operator[](std::int64_t i) { return ptr_[i]; }
+  float operator[](std::int64_t i) const { return ptr_[i]; }
 
   // Multi-index access (rank-checked in debug builds); for tests and
   // non-hot-path code.
   float& At(std::initializer_list<std::int64_t> idx);
   float At(std::initializer_list<std::int64_t> idx) const;
 
-  // Deep copy.
+  // Deep copy into owned storage (also lifts borrowed views).
   Tensor Clone() const;
 
   // Same storage, new shape (numel must match).
   Tensor Reshape(Shape shape) const;
 
-  // Structural helpers (all allocate fresh storage).
+  // Structural helpers (all allocate fresh storage; the Workspace overloads
+  // borrow the result from the arena instead).
   // Permute for rank<=5 tensors; perm is a permutation of axis indices.
   Tensor Permute(const std::vector<int>& perm) const;
+  Tensor Permute(const std::vector<int>& perm, tensor::Workspace* ws) const;
   // Slice along axis 0: rows [begin, end).
   Tensor Slice0(std::int64_t begin, std::int64_t end) const;
 
@@ -98,8 +131,14 @@ class Tensor {
   bool AllFinite() const;
 
  private:
+  void PermuteInto(const std::vector<int>& perm, Tensor* out) const;
+
   Shape shape_;
-  std::shared_ptr<std::vector<float>> data_;
+  // Keep-alive handle for owned storage; null for borrowed views and
+  // default-constructed tensors. All element access goes through ptr_.
+  std::shared_ptr<void> storage_;
+  float* ptr_ = nullptr;
+  bool defined_ = false;
 };
 
 // Concatenate along axis 0. All inputs must agree on trailing dims.

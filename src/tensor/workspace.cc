@@ -1,0 +1,110 @@
+#include "tensor/workspace.h"
+
+#include <algorithm>
+#include <new>
+
+namespace glsc::tensor {
+namespace {
+
+constexpr std::size_t kAlignment = 64;
+// First slab floor: big enough that toy models never grow past slab 0, small
+// enough that idle per-worker workspaces stay cheap.
+constexpr std::size_t kMinSlabBytes = std::size_t{1} << 20;  // 1 MiB
+
+constexpr std::size_t RoundUp(std::size_t bytes) {
+  return (bytes + kAlignment - 1) & ~(kAlignment - 1);
+}
+
+}  // namespace
+
+Workspace::Workspace(std::size_t initial_bytes) {
+  if (initial_bytes > 0) AddSlab(RoundUp(initial_bytes));
+}
+
+Workspace::~Workspace() {
+  for (Slab& slab : slabs_) {
+    ::operator delete(slab.data, std::align_val_t{kAlignment});
+  }
+}
+
+void Workspace::AddSlab(std::size_t min_bytes) {
+  // Geometric growth: each new slab is at least as large as everything cached
+  // so far, so the slab count stays logarithmic in the high-water mark.
+  const std::size_t capacity =
+      std::max({min_bytes, kMinSlabBytes,
+                static_cast<std::size_t>(stats_.slab_bytes)});
+  Slab slab;
+  slab.data = static_cast<std::byte*>(
+      ::operator new(capacity, std::align_val_t{kAlignment}));
+  slab.capacity = capacity;
+  slab.offset = 0;
+  slabs_.push_back(slab);
+  current_ = slabs_.size() - 1;
+  stats_.slab_allocations += 1;
+  stats_.slab_bytes += static_cast<std::int64_t>(capacity);
+}
+
+float* Workspace::Allocate(std::int64_t count) {
+  GLSC_CHECK(count >= 0);
+  const std::size_t bytes = RoundUp(static_cast<std::size_t>(count) *
+                                    sizeof(float));
+  stats_.borrows += 1;
+  if (bytes == 0) return nullptr;
+  while (true) {
+    if (!slabs_.empty()) {
+      Slab& slab = slabs_[current_];
+      if (slab.offset + bytes <= slab.capacity) {
+        float* out = reinterpret_cast<float*>(slab.data + slab.offset);
+        slab.offset += bytes;
+        used_ += static_cast<std::int64_t>(bytes);
+        stats_.peak_bytes = std::max(stats_.peak_bytes, used_);
+        return out;
+      }
+      if (current_ + 1 < slabs_.size()) {
+        // Fall through to the next cached slab (rewinds reset its offset).
+        ++current_;
+        slabs_[current_].offset = 0;
+        continue;
+      }
+    }
+    AddSlab(bytes);
+  }
+}
+
+Tensor Workspace::NewTensor(Shape shape) {
+  const std::int64_t n = ShapeNumel(shape);
+  return Tensor::Borrowed(Allocate(n), std::move(shape));
+}
+
+Tensor Workspace::NewZeroed(Shape shape) {
+  Tensor t = NewTensor(std::move(shape));
+  std::fill_n(t.data(), t.numel(), 0.0f);
+  return t;
+}
+
+Workspace::Checkpoint Workspace::Mark() const {
+  Checkpoint checkpoint;
+  checkpoint.slab = current_;
+  checkpoint.offset = slabs_.empty() ? 0 : slabs_[current_].offset;
+  checkpoint.used = used_;
+  return checkpoint;
+}
+
+void Workspace::Rewind(const Checkpoint& checkpoint) {
+  if (slabs_.empty()) return;
+  GLSC_DCHECK(checkpoint.slab <= current_);
+  for (std::size_t i = checkpoint.slab + 1; i <= current_; ++i) {
+    slabs_[i].offset = 0;
+  }
+  slabs_[checkpoint.slab].offset = checkpoint.offset;
+  current_ = checkpoint.slab;
+  used_ = checkpoint.used;
+}
+
+void Workspace::Reset() {
+  for (Slab& slab : slabs_) slab.offset = 0;
+  current_ = 0;
+  used_ = 0;
+}
+
+}  // namespace glsc::tensor

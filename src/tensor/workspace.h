@@ -1,0 +1,115 @@
+// Workspace — a bump-allocator arena for the inference hot path.
+//
+// The GLSC decode path runs the denoising UNet `sample_steps` (~32) times per
+// window, and every layer of every step needs identically-shaped activation
+// buffers. Allocating them from the heap each time dominates serving cost
+// once the kernels themselves are vectorized (PR 2) and windows decode in
+// parallel (PR 4). A Workspace replaces that traffic with pointer bumps over
+// cached slabs:
+//
+//   tensor::Workspace ws;                 // one per worker, reused forever
+//   for (each window) {
+//     tensor::Workspace::Scope scope(&ws);
+//     Tensor y = decoder.Forward(x, &ws); // arena-backed activations
+//     ...copy results out before `scope` unwinds...
+//   }
+//
+// Properties:
+//  - Allocations are 64-byte aligned (AVX-512 friendly) and O(1): bump a
+//    pointer within the current slab, falling through to the next cached slab
+//    or (cold path) a geometrically-grown heap slab.
+//  - Scope is a stack checkpoint: destruction rewinds the bump state to where
+//    the Scope was opened, retaining every slab. After the arena has grown to
+//    its high-water mark (the first window / first sampler step), steady
+//    state performs ZERO heap allocations — stats() proves it.
+//  - Tensors handed out by NewTensor are BORROWED views (Tensor::Borrowed):
+//    they must not outlive the enclosing Scope. Clone() lifts one to owned
+//    storage when it must escape.
+//  - Not thread-safe: sessions and the decode scheduler own one Workspace per
+//    worker slot, next to the per-worker codec clones.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace glsc::tensor {
+
+class Workspace {
+ public:
+  struct Stats {
+    std::int64_t slab_allocations = 0;  // heap slabs ever allocated
+    std::int64_t slab_bytes = 0;        // total bytes held in cached slabs
+    std::int64_t borrows = 0;           // arena allocations served
+    std::int64_t peak_bytes = 0;        // high-water concurrent usage
+  };
+
+  // A bump-state checkpoint; obtained from Mark(), restored by Rewind().
+  struct Checkpoint {
+    std::size_t slab = 0;
+    std::size_t offset = 0;
+    std::int64_t used = 0;
+  };
+
+  // RAII checkpoint: rewinds the arena to the construction point when
+  // destroyed. A null workspace makes the scope a no-op so call sites can be
+  // written unconditionally.
+  class Scope {
+   public:
+    explicit Scope(Workspace* ws) : ws_(ws) {
+      if (ws_ != nullptr) checkpoint_ = ws_->Mark();
+    }
+    ~Scope() {
+      if (ws_ != nullptr) ws_->Rewind(checkpoint_);
+    }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    Workspace* ws_;
+    Checkpoint checkpoint_;
+  };
+
+  // `initial_bytes` pre-reserves the first slab (0 defers until first use).
+  explicit Workspace(std::size_t initial_bytes = 0);
+  ~Workspace();
+
+  Workspace(const Workspace&) = delete;
+  Workspace& operator=(const Workspace&) = delete;
+
+  // `count` floats, 64-byte aligned, valid until the enclosing checkpoint is
+  // rewound. O(1) except when the arena must grow past its high-water mark.
+  float* Allocate(std::int64_t count);
+
+  // Borrowed uninitialized tensor over Allocate(numel).
+  Tensor NewTensor(Shape shape);
+  // Borrowed zero-filled tensor (pays the memset; prefer NewTensor when every
+  // element is overwritten anyway).
+  Tensor NewZeroed(Shape shape);
+
+  Checkpoint Mark() const;
+  void Rewind(const Checkpoint& checkpoint);
+  // Rewind everything; cached slabs are retained for reuse.
+  void Reset();
+
+  const Stats& stats() const { return stats_; }
+  std::int64_t bytes_in_use() const { return used_; }
+
+ private:
+  struct Slab {
+    std::byte* data = nullptr;
+    std::size_t capacity = 0;
+    std::size_t offset = 0;
+  };
+
+  void AddSlab(std::size_t min_bytes);
+
+  std::vector<Slab> slabs_;
+  std::size_t current_ = 0;  // index into slabs_ (meaningful when non-empty)
+  std::int64_t used_ = 0;    // bytes currently handed out across all slabs
+  Stats stats_;
+};
+
+}  // namespace glsc::tensor
