@@ -3,22 +3,31 @@
 // four measurements:
 //
 //   full     — DecodeSession::DecodeAll over every record (linear scan path)
-//   fetch    — DecodeScheduler::Get of every window, cache disabled, so each
-//              fetch pays one real decode through the scheduler
+//   fetch    — DecodeScheduler::Get over every window with the cache disabled
+//              (every fetch pays a real decode), measured twice over identical
+//              spanning queries: once with max_batch=1 (one DecompressWindow
+//              per record — the serial dispatch) and once with
+//              max_batch=--batch (misses coalesced into DecompressWindows).
+//              The two arms differ ONLY in dispatch, and their outputs are
+//              asserted byte-identical before any number is reported.
 //   alloc    — raw DecompressWindow per record WITHOUT a workspace (the
 //              pre-arena allocating path, kept as the byte-identity reference)
 //   arena    — raw DecompressWindow per record WITH a reused workspace
 //
-// Emits BENCH_e2e.json with windows/s + MB/s for the session/scheduler paths
-// and the alloc-vs-arena speedup; scripts/check.sh gates on the file existing
-// with finite values, so every number here must be finite.
+// Emits BENCH_e2e.json with windows/s + MB/s for the session/scheduler paths,
+// the serial-vs-batched fetch comparison, and the alloc-vs-arena speedup;
+// scripts/check.sh gates on the file existing with the fetch_batched_* fields
+// present and finite, so every number here must be finite.
 //
 //   ./bench_e2e_decode [--codec=glsc] [--frames=48] [--hw=32] [--variables=1]
-//                      [--steps=6] [--workers=2] [--repeat=1] [--json=PATH]
+//                      [--steps=6] [--workers=2] [--batch=8] [--repeat=1]
+//                      [--json=PATH]
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <string>
+#include <vector>
 
 #include "api/session.h"
 #include "core/archive_reader.h"
@@ -90,21 +99,58 @@ int main(int argc, char** argv) {
   const double nrmse = Nrmse(field, full);
   const double psnr = Psnr(field, full);
 
-  // -- per-window fetches through the scheduler (cache off => real decodes) -
-  serve::ScheduleOptions serve_options;
-  serve_options.workers = flags.GetInt("workers", 2);
-  serve_options.cache_windows = 0;
+  // -- window fetches through the scheduler (cache off => real decodes) -----
+  // Two schedulers over the same archive and the same spanning queries,
+  // differing ONLY in dispatch: max_batch=1 runs one DecompressWindow per
+  // record, max_batch=--batch coalesces each query's misses into
+  // DecompressWindows calls so model-based codecs run one network pass over
+  // the stacked windows.
+  const std::int64_t batch =
+      std::max<std::int64_t>(flags.GetInt("batch", 8), 1);
   auto reader = core::ArchiveReader::FromFile(path);
-  serve::DecodeScheduler scheduler(&reader, codec.get(), serve_options);
+  serve::ScheduleOptions serial_options;
+  serial_options.workers = flags.GetInt("workers", 2);
+  serial_options.cache_windows = 0;
+  serial_options.max_batch = 1;
+  serve::ScheduleOptions batched_options = serial_options;
+  batched_options.max_batch = batch;
+  serve::DecodeScheduler serial_scheduler(&reader, codec.get(),
+                                          serial_options);
+  serve::DecodeScheduler batched_scheduler(&reader, codec.get(),
+                                           batched_options);
+
   const std::int64_t fetch_windows = field.dim(1) / window;
+  std::vector<Tensor> serial_out;
+  std::vector<Tensor> batched_out;
   Timer fetch_timer;
   for (std::int64_t r = 0; r < repeat; ++r) {
-    for (std::int64_t w = 0; w < fetch_windows; ++w) {
-      (void)scheduler.Get(0, w * window, std::min((w + 1) * window,
-                                                  field.dim(1)));
+    serial_out.clear();
+    for (std::int64_t w = 0; w < fetch_windows; w += batch) {
+      const std::int64_t hi = std::min((w + batch) * window, field.dim(1));
+      serial_out.push_back(serial_scheduler.Get(0, w * window, hi));
     }
   }
   const double t_fetch = fetch_timer.Seconds() / double(repeat);
+  Timer batched_timer;
+  for (std::int64_t r = 0; r < repeat; ++r) {
+    batched_out.clear();
+    for (std::int64_t w = 0; w < fetch_windows; w += batch) {
+      const std::int64_t hi = std::min((w + batch) * window, field.dim(1));
+      batched_out.push_back(batched_scheduler.Get(0, w * window, hi));
+    }
+  }
+  const double t_batched = batched_timer.Seconds() / double(repeat);
+  for (std::size_t i = 0; i < serial_out.size(); ++i) {
+    if (serial_out[i].numel() != batched_out[i].numel() ||
+        std::memcmp(serial_out[i].data(), batched_out[i].data(),
+                    std::size_t(serial_out[i].numel()) * sizeof(float)) != 0) {
+      std::fprintf(stderr,
+                   "error: batched fetch differs from serial fetch "
+                   "(query %zu) — batching must be byte-identical\n",
+                   i);
+      return 1;
+    }
+  }
   const double fetch_mb = double(fetch_windows * window * spec.height *
                                  spec.width * sizeof(float)) / double(1 << 20);
 
@@ -132,20 +178,25 @@ int main(int argc, char** argv) {
   const double full_mbps = decoded_mb / std::max(t_full, eps);
   const double fetch_wps = double(fetch_windows) / std::max(t_fetch, eps);
   const double fetch_mbps = fetch_mb / std::max(t_fetch, eps);
+  const double batched_wps = double(fetch_windows) / std::max(t_batched, eps);
+  const double batched_speedup = t_fetch / std::max(t_batched, eps);
   const double alloc_wps = double(records) / std::max(t_alloc, eps);
   const double arena_wps = double(records) / std::max(t_arena, eps);
   const double speedup = t_alloc / std::max(t_arena, eps);
 
   std::printf(
       "full decode      %9.4f s   %7.2f windows/s   %7.2f MB/s\n"
-      "window fetch     %9.4f s   %7.2f windows/s   %7.2f MB/s\n"
+      "fetch serial     %9.4f s   %7.2f windows/s   %7.2f MB/s   "
+      "(max_batch=1)\n"
+      "fetch batched    %9.4f s   %7.2f windows/s   (%.2fx vs serial, "
+      "max_batch=%lld, byte-identical)\n"
       "alloc decode     %9.4f s   %7.2f windows/s\n"
       "arena decode     %9.4f s   %7.2f windows/s   (%.2fx vs alloc, "
       "%lld arena slabs, %.1f MB high-water)\n"
       "fidelity: NRMSE %.4e, PSNR %.1f dB\n",
-      t_full, full_wps, full_mbps, t_fetch, fetch_wps, fetch_mbps, t_alloc,
-      alloc_wps, t_arena, arena_wps, speedup,
-      (long long)ws.stats().slab_allocations,
+      t_full, full_wps, full_mbps, t_fetch, fetch_wps, fetch_mbps, t_batched,
+      batched_wps, batched_speedup, (long long)batch, t_alloc, alloc_wps,
+      t_arena, arena_wps, speedup, (long long)ws.stats().slab_allocations,
       double(ws.stats().peak_bytes) / double(1 << 20), nrmse, psnr);
 
   if (!json_path.empty()) {
@@ -166,6 +217,10 @@ int main(int argc, char** argv) {
                  "  \"fetch_s\": %.6g,\n"
                  "  \"fetch_windows_per_s\": %.6g,\n"
                  "  \"fetch_mb_per_s\": %.6g,\n"
+                 "  \"fetch_serial_windows_per_s\": %.6g,\n"
+                 "  \"fetch_batched_windows_per_s\": %.6g,\n"
+                 "  \"fetch_batched_speedup\": %.6g,\n"
+                 "  \"fetch_batch_size\": %lld,\n"
                  "  \"alloc_windows_per_s\": %.6g,\n"
                  "  \"arena_windows_per_s\": %.6g,\n"
                  "  \"arena_speedup\": %.6g,\n"
@@ -175,7 +230,8 @@ int main(int argc, char** argv) {
                  "  \"psnr_db\": %.6g\n"
                  "}\n",
                  codec_name.c_str(), records, decoded_mb, t_full, full_wps,
-                 full_mbps, t_fetch, fetch_wps, fetch_mbps, alloc_wps,
+                 full_mbps, t_fetch, fetch_wps, fetch_mbps, fetch_wps,
+                 batched_wps, batched_speedup, (long long)batch, alloc_wps,
                  arena_wps, speedup, (long long)ws.stats().slab_allocations,
                  double(ws.stats().peak_bytes) / double(1 << 20), nrmse, psnr);
     std::fclose(out);

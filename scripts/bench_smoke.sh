@@ -54,7 +54,9 @@ if [[ ! -x "$E2E_BIN" ]]; then
   echo "error: $E2E_BIN not found — rebuild first" >&2
   exit 1
 fi
-"$E2E_BIN" --codec="$E2E_CODEC" --json="$E2E_OUT"
+# 128 frames = 8 records so the batched-fetch arm coalesces a full
+# max_batch=8 chunk (3 records would cap the batch at 3).
+"$E2E_BIN" --codec="$E2E_CODEC" --frames=128 --batch=8 --json="$E2E_OUT"
 
 if [[ -n "$CODEC" ]]; then
   CODEC_BIN="$BUILD_DIR/bench_codec_api"

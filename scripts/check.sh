@@ -58,8 +58,20 @@ if [[ ! -s "$BUILD_DIR/BENCH_e2e.json" ]]; then
   echo "error: BENCH_e2e.json missing or empty" >&2
   exit 1
 fi
+# The batched-fetch comparison must actually be in the emitted JSON — a stale
+# bench binary would silently drop the tentpole's headline numbers.
+for field in fetch_serial_windows_per_s fetch_batched_windows_per_s \
+             fetch_batched_speedup fetch_batch_size; do
+  if ! grep -q "\"$field\"" "$BUILD_DIR/BENCH_e2e.json"; then
+    echo "error: BENCH_e2e.json missing field: $field" >&2
+    exit 1
+  fi
+done
 bad=0
-for f in "$BUILD_DIR"/BENCH_*.json BENCH_*.json; do
+# Gate ONLY the two files the commands above emitted. A BENCH_*.json glob over
+# the repo root (or the whole build dir) would also pick up artifacts from
+# earlier manual bench runs and fail this gate on files this run never wrote.
+for f in "$BUILD_DIR/BENCH_random_access.json" "$BUILD_DIR/BENCH_e2e.json"; do
   [[ -f "$f" ]] || continue
   if grep -nE '(^|[^A-Za-z_])-?(inf|nan)([^A-Za-z_]|$)' "$f"; then
     echo "error: non-finite value in $f" >&2

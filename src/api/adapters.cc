@@ -211,6 +211,21 @@ Tensor GlscAdapter::DecompressWindow(const std::vector<std::uint8_t>& payload,
   return glsc_->Decompress(cw, sample_steps_, ws);
 }
 
+std::vector<Tensor> GlscAdapter::DecompressWindows(
+    const std::vector<const std::vector<std::uint8_t>*>& payloads,
+    tensor::Workspace* ws) {
+  std::vector<core::CompressedWindow> windows;
+  windows.reserve(payloads.size());
+  for (const std::vector<std::uint8_t>* payload : payloads) {
+    ByteReader in(*payload);
+    windows.push_back(core::DeserializeWindow(&in));
+  }
+  std::vector<const core::CompressedWindow*> views;
+  views.reserve(windows.size());
+  for (const core::CompressedWindow& cw : windows) views.push_back(&cw);
+  return glsc_->DecompressBatch(views, sample_steps_, ws);
+}
+
 void GlscAdapter::Train(const data::SequenceDataset& dataset,
                         const TrainOptions& options) {
   compress::TrainVae(&glsc_->vae(), dataset, MakeVaeTrain(options));

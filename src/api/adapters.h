@@ -99,6 +99,12 @@ class GlscAdapter final : public Compressor {
       tensor::Workspace* ws) override;
   Tensor DecompressWindow(const std::vector<std::uint8_t>& payload,
                           tensor::Workspace* ws) override;
+  // Batched decode through GlscCompressor::DecompressBatch: one diffusion
+  // sampler + VAE pass over all payloads. Byte-identical per payload to
+  // DecompressWindow.
+  std::vector<Tensor> DecompressWindows(
+      const std::vector<const std::vector<std::uint8_t>*>& payloads,
+      tensor::Workspace* ws) override;
   void Train(const data::SequenceDataset& dataset,
              const TrainOptions& options) override;
   void SaveModel(ByteWriter* out) override { glsc_->Save(out); }

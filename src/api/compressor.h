@@ -131,6 +131,24 @@ class Compressor {
     return DecompressWindow(payload);
   }
 
+  // Batched decode: decompresses several payloads in one call so model-based
+  // codecs can run their networks once over the stacked windows (wider GEMMs,
+  // one weight pass) instead of once per window. Entries are byte-identical
+  // to per-payload DecompressWindow calls — batching is a dispatch choice,
+  // never a quality choice. The default loops over DecompressWindow, so
+  // codecs without a batched path (and wrappers that intercept per-window
+  // decode, e.g. counting or caching shims) work unchanged.
+  virtual std::vector<Tensor> DecompressWindows(
+      const std::vector<const std::vector<std::uint8_t>*>& payloads,
+      tensor::Workspace* ws) {
+    std::vector<Tensor> out;
+    out.reserve(payloads.size());
+    for (const std::vector<std::uint8_t>* p : payloads) {
+      out.push_back(DecompressWindow(*p, ws));
+    }
+    return out;
+  }
+
   // Trains the underlying model(s) in place. Model-free codecs no-op.
   virtual void Train(const data::SequenceDataset& dataset,
                      const TrainOptions& options) {

@@ -193,6 +193,11 @@ Tensor VaeHyperprior::DecodeLatent(const Tensor& y_hat, tensor::Workspace* ws) {
   return decoder_.Forward(y_hat, ws);
 }
 
+Tensor VaeHyperprior::DecodeLatentBatched(const Tensor& y_hat,
+                                          tensor::Workspace* ws) {
+  return decoder_.ForwardBatched(y_hat, ws);
+}
+
 void VaeHyperprior::HyperForwardInference(const Tensor& y, Tensor* z_hat,
                                           Tensor* mu, Tensor* sigma) {
   // The hyper path downsamples 4x and the hyper-decoder upsamples 4x; they

@@ -76,6 +76,9 @@ class VaeHyperprior {
   // Workspace variant: the reconstruction (and all decoder activations)
   // borrows arena memory valid until the caller's scope rewinds.
   Tensor DecodeLatent(const Tensor& y_hat, tensor::Workspace* ws);
+  // Batched workspace variant: the decoder convolutions fuse all leading-dim
+  // frames (stacked windows) into merged GEMMs. Byte-identical output.
+  Tensor DecodeLatentBatched(const Tensor& y_hat, tensor::Workspace* ws);
   // Full entropy-coded compression of a frame batch.
   VaeBitstream Compress(const Tensor& x);
   // Compression of pre-computed latents (the GLSC pipeline quantizes

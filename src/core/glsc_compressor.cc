@@ -151,6 +151,122 @@ Tensor GlscCompressor::Decompress(const CompressedWindow& compressed,
   return recon;
 }
 
+std::vector<Tensor> GlscCompressor::DecompressBatch(
+    const std::vector<const CompressedWindow*>& windows,
+    std::int64_t sample_steps, tensor::Workspace* ws) {
+  std::vector<Tensor> out;
+  if (windows.empty()) return out;
+  if (sample_steps <= 0) sample_steps = config_.sample_steps;
+  const std::int64_t batch = static_cast<std::int64_t>(windows.size());
+
+  tensor::Workspace local_ws;
+  if (ws == nullptr) ws = &local_ws;
+
+  // One UNet pass covers every window, so the batch must agree on geometry.
+  const Shape& wshape = windows[0]->window_shape;
+  for (const CompressedWindow* cw : windows) {
+    GLSC_CHECK(cw != nullptr);
+    GLSC_CHECK_MSG(cw->window_shape == wshape,
+                   "batched decode needs uniform window geometry");
+  }
+
+  // Entropy + hyper decode and normalization bounds stay per window: the
+  // bounds are derived from each window's own keyframe latents, exactly as
+  // the serial decoder does (owned tensors, they outlive the scope below).
+  std::vector<Tensor> y_keys;
+  std::vector<diffusion::LatentNorm> norms;
+  y_keys.reserve(static_cast<std::size_t>(batch));
+  norms.reserve(static_cast<std::size_t>(batch));
+  for (const CompressedWindow* cw : windows) {
+    y_keys.push_back(vae_.DecompressLatents(cw->keyframes, ws));
+    norms.push_back(diffusion::LatentNorm::FromTensor(y_keys.back()));
+  }
+
+  out.reserve(static_cast<std::size_t>(batch));
+  {
+    tensor::Workspace::Scope scope(ws);
+
+    // Stack raw and normalized keyframe latents: [B*K, C, h, w].
+    const std::int64_t key_elems = y_keys[0].numel();
+    Shape stacked_shape = y_keys[0].shape();
+    stacked_shape[0] *= batch;
+    Tensor keys_stacked = ws->NewTensor(stacked_shape);
+    Tensor keys_normed = ws->NewTensor(stacked_shape);
+    for (std::int64_t w = 0; w < batch; ++w) {
+      const Tensor& yk = y_keys[static_cast<std::size_t>(w)];
+      GLSC_CHECK(yk.numel() == key_elems);
+      std::copy_n(yk.data(), key_elems, keys_stacked.data() + w * key_elems);
+      // Same formula as LatentNorm::Normalize, written into the slab.
+      const diffusion::LatentNorm& nm = norms[static_cast<std::size_t>(w)];
+      const float scale = 2.0f / (nm.hi - nm.lo);
+      const float* src = yk.data();
+      float* dst = keys_normed.data() + w * key_elems;
+      for (std::int64_t i = 0; i < key_elems; ++i) {
+        dst[i] = (src[i] - nm.lo) * scale - 1.0f;
+      }
+    }
+
+    // Per-window generators, seeded exactly as the serial decoder seeds its
+    // sampling RNG.
+    std::vector<Rng> rng_storage;
+    rng_storage.reserve(static_cast<std::size_t>(batch));
+    for (const CompressedWindow* cw : windows) {
+      rng_storage.emplace_back(cw->sample_seed);
+    }
+    std::vector<Rng*> rngs;
+    rngs.reserve(static_cast<std::size_t>(batch));
+    for (Rng& r : rng_storage) rngs.push_back(&r);
+
+    diffusion::SamplerConfig sampler_cfg;
+    sampler_cfg.steps = sample_steps;
+    const Tensor gen_normed = diffusion::SampleConditionalBatch(
+        &unet_, schedule_, sampler_cfg, keys_normed, key_idx_, config_.window,
+        rngs, ws);  // [B*G, C, h, w]
+
+    // Per-window denormalization (each window has its own bounds), then the
+    // shared integer rounding.
+    Tensor gen_latents = ws->NewTensor(gen_normed.shape());
+    const std::int64_t gen_elems = gen_normed.numel() / batch;
+    for (std::int64_t w = 0; w < batch; ++w) {
+      const diffusion::LatentNorm& nm = norms[static_cast<std::size_t>(w)];
+      const float scale = (nm.hi - nm.lo) / 2.0f;
+      const float* src = gen_normed.data() + w * gen_elems;
+      float* dst = gen_latents.data() + w * gen_elems;
+      for (std::int64_t i = 0; i < gen_elems; ++i) {
+        dst[i] = (src[i] + 1.0f) * scale + nm.lo;
+      }
+    }
+    RoundInPlace(&gen_latents);
+
+    const Tensor full_latents = diffusion::ComposeBatch(
+        gen_latents, keys_stacked, gen_idx_, key_idx_, batch, ws);
+    const Tensor decoded =
+        vae_.DecodeLatentBatched(full_latents, ws);  // [B*N, 1, H, W]
+
+    // Lift each window out of the arena; PCA corrections stay per frame.
+    const std::int64_t frames = wshape[0];
+    for (std::int64_t w = 0; w < batch; ++w) {
+      Tensor recon = decoded.Slice0(w * frames, (w + 1) * frames)
+                         .Reshape({wshape[0], wshape[1], wshape[2]})
+                         .Clone();
+      const CompressedWindow& cw = *windows[static_cast<std::size_t>(w)];
+      if (!cw.corrections.empty()) {
+        const std::int64_t hw = wshape[1] * wshape[2];
+        for (std::int64_t f = 0; f < frames; ++f) {
+          const auto& payload = cw.corrections[static_cast<std::size_t>(f)];
+          if (payload.empty()) continue;
+          Tensor frame({wshape[1], wshape[2]});
+          std::copy_n(recon.data() + f * hw, hw, frame.data());
+          pca_.Apply(payload, &frame);
+          std::copy_n(frame.data(), hw, recon.data() + f * hw);
+        }
+      }
+      out.push_back(std::move(recon));
+    }
+  }
+  return out;
+}
+
 Tensor GlscCompressor::Reconstruct(const Tensor& window, std::uint32_t seed,
                                    std::int64_t sample_steps) {
   const Tensor keys = diffusion::GatherFrames(window, key_idx_);

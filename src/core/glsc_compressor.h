@@ -95,6 +95,18 @@ class GlscCompressor {
                     std::int64_t sample_steps = 0,
                     tensor::Workspace* ws = nullptr);
 
+  // Batched decompression: decodes B windows through ONE diffusion-sampler
+  // run and ONE VAE decode, with the windows' frames stacked along dim 0 so
+  // the UNet and decoder GEMMs are B× wider. Entropy decode, normalization
+  // bounds, the sampling RNG, and PCA corrections remain strictly per window,
+  // so each returned tensor is byte-identical to Decompress on that window
+  // alone (tests/batched_decode_test.cc holds this). All windows must share
+  // window_shape. `sample_steps` <= 0 uses config().sample_steps; with a null
+  // `ws` a local arena is used. Results are always owned.
+  std::vector<Tensor> DecompressBatch(
+      const std::vector<const CompressedWindow*>& windows,
+      std::int64_t sample_steps = 0, tensor::Workspace* ws = nullptr);
+
   // Reconstruction WITHOUT entropy coding (keyframe latents passed through
   // quantization only) — used for PCA fitting and ablations; identical
   // output to the coded path because coding is lossless.

@@ -143,6 +143,62 @@ Tensor Compose(const Tensor& generated, const Tensor& conditioning,
   return out;
 }
 
+Tensor ComposeBatch(const Tensor& generated, const Tensor& conditioning,
+                    const std::vector<std::int64_t>& gen_idx,
+                    const std::vector<std::int64_t>& key_idx,
+                    std::int64_t batch, tensor::Workspace* ws) {
+  const std::int64_t g = static_cast<std::int64_t>(gen_idx.size());
+  const std::int64_t k = static_cast<std::int64_t>(key_idx.size());
+  const std::int64_t n = g + k;
+  GLSC_CHECK(batch >= 1);
+  GLSC_CHECK(generated.dim(0) == batch * g);
+  GLSC_CHECK(conditioning.dim(0) == batch * k);
+  const std::int64_t row = generated.numel() / generated.dim(0);
+  GLSC_CHECK(conditioning.numel() / conditioning.dim(0) == row);
+
+  Shape out_shape = generated.shape();
+  out_shape[0] = batch * n;
+  Tensor out =
+      ws != nullptr ? ws->NewTensor(out_shape) : Tensor::Empty(out_shape);
+  // Each window is the same two scatters as Compose; together they cover
+  // every frame, so no zero-fill is needed.
+  for (std::int64_t w = 0; w < batch; ++w) {
+    const float* pg = generated.data() + w * g * row;
+    const float* pk = conditioning.data() + w * k * row;
+    float* po = out.data() + w * n * row;
+    for (std::int64_t i = 0; i < g; ++i) {
+      std::copy_n(pg + i * row, row, po + gen_idx[static_cast<std::size_t>(i)] * row);
+    }
+    for (std::int64_t i = 0; i < k; ++i) {
+      std::copy_n(pk + i * row, row, po + key_idx[static_cast<std::size_t>(i)] * row);
+    }
+  }
+  return out;
+}
+
+Tensor GatherFramesBatch(const Tensor& window,
+                         const std::vector<std::int64_t>& idx,
+                         std::int64_t batch, tensor::Workspace* ws) {
+  GLSC_CHECK(batch >= 1 && window.dim(0) % batch == 0);
+  const std::int64_t n = window.dim(0) / batch;
+  const std::int64_t g = static_cast<std::int64_t>(idx.size());
+  const std::int64_t row = window.numel() / window.dim(0);
+  Shape out_shape = window.shape();
+  out_shape[0] = batch * g;
+  Tensor out =
+      ws != nullptr ? ws->NewTensor(out_shape) : Tensor::Empty(out_shape);
+  for (std::int64_t w = 0; w < batch; ++w) {
+    const float* src = window.data() + w * n * row;
+    float* dst = out.data() + w * g * row;
+    for (std::int64_t i = 0; i < g; ++i) {
+      const std::int64_t f = idx[static_cast<std::size_t>(i)];
+      GLSC_CHECK(f >= 0 && f < n);
+      std::copy_n(src + f * row, row, dst + i * row);
+    }
+  }
+  return out;
+}
+
 LatentNorm LatentNorm::FromTensor(const Tensor& t) {
   LatentNorm norm;
   norm.lo = t.MinValue();

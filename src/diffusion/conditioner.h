@@ -51,10 +51,25 @@ Tensor Compose(const Tensor& generated, const Tensor& conditioning,
                const std::vector<std::int64_t>& key_idx,
                tensor::Workspace* ws);
 
+// Batched ⊕ over `batch` stacked windows: `generated` is [B*G, C, H, W]
+// (window 0's G-frames first), `conditioning` is [B*K, C, H, W]; returns
+// [B*N, C, H, W] with each window composed independently. Values are
+// identical to per-window Compose.
+Tensor ComposeBatch(const Tensor& generated, const Tensor& conditioning,
+                    const std::vector<std::int64_t>& gen_idx,
+                    const std::vector<std::int64_t>& key_idx,
+                    std::int64_t batch, tensor::Workspace* ws);
+
 // Gathers the listed frames of a [N, C, H, W] window into a packed tensor.
 Tensor GatherFrames(const Tensor& window, const std::vector<std::int64_t>& idx);
 Tensor GatherFrames(const Tensor& window, const std::vector<std::int64_t>& idx,
                     tensor::Workspace* ws);
+
+// Batched gather over `batch` stacked windows: `window` is [B*N, C, H, W];
+// returns [B*|idx|, C, H, W], window-major.
+Tensor GatherFramesBatch(const Tensor& window,
+                         const std::vector<std::int64_t>& idx,
+                         std::int64_t batch, tensor::Workspace* ws);
 
 // Writes packed frames back into `window` at the listed positions.
 void ScatterFrames(const Tensor& packed, const std::vector<std::int64_t>& idx,

@@ -161,6 +161,97 @@ Tensor SampleWithWorkspace(SpaceTimeUNet* model, const NoiseSchedule& schedule,
 
 }  // namespace
 
+Tensor SampleConditionalBatch(SpaceTimeUNet* model,
+                              const NoiseSchedule& schedule,
+                              const SamplerConfig& config,
+                              const Tensor& keyframes,
+                              const std::vector<std::int64_t>& key_idx,
+                              std::int64_t frames,
+                              const std::vector<Rng*>& rngs,
+                              tensor::Workspace* ws) {
+  GLSC_CHECK(ws != nullptr);
+  const std::int64_t batch = static_cast<std::int64_t>(rngs.size());
+  GLSC_CHECK(batch >= 1);
+  GLSC_CHECK(keyframes.rank() == 4);
+  GLSC_CHECK(keyframes.dim(0) ==
+             batch * static_cast<std::int64_t>(key_idx.size()));
+  const std::vector<std::int64_t> gen_idx = GeneratedIndices(key_idx, frames);
+  GLSC_CHECK(!gen_idx.empty());
+
+  Shape gen_shape = keyframes.shape();
+  gen_shape[0] = batch * static_cast<std::int64_t>(gen_idx.size());
+  const std::int64_t per_window =
+      static_cast<std::int64_t>(gen_idx.size()) * keyframes.dim(1) *
+      keyframes.dim(2) * keyframes.dim(3);
+
+  std::vector<std::int64_t> ladder = schedule.Respace(config.steps);
+  std::reverse(ladder.begin(), ladder.end());
+
+  // x_T per window, preserving each window's serial draw order.
+  Tensor x = ws->NewTensor(gen_shape);
+  for (std::int64_t w = 0; w < batch; ++w) {
+    float* p = x.data() + w * per_window;
+    for (std::int64_t i = 0; i < per_window; ++i) p[i] = rngs[w]->NormalF();
+  }
+
+  for (std::size_t step = 0; step < ladder.size(); ++step) {
+    const std::int64_t t = ladder[step];
+    const bool last = step + 1 == ladder.size();
+    const std::int64_t t_prev = last ? -1 : ladder[step + 1];
+
+    tensor::Workspace::Scope step_scope(ws);
+    const Tensor window =
+        ComposeBatch(x, keyframes, gen_idx, key_idx, batch, ws);
+    const Tensor eps_full = model->Forward(window, t, ws, batch);
+    const Tensor eps = GatherFramesBatch(eps_full, gen_idx, batch, ws);
+
+    const double ab_t = schedule.alpha_bar(t);
+    const double ab_prev = last ? 1.0 : schedule.alpha_bar(t_prev);
+
+    const float inv_sqrt_ab = static_cast<float>(1.0 / std::sqrt(ab_t));
+    const float noise_coeff = static_cast<float>(std::sqrt(1.0 - ab_t));
+    Tensor x0 = ws->NewTensor(gen_shape);
+    {
+      // Elementwise, so running over all windows at once matches the
+      // per-window loops bit for bit.
+      const float* px = x.data();
+      const float* pe = eps.data();
+      float* p0 = x0.data();
+      for (std::int64_t i = 0; i < x0.numel(); ++i) {
+        p0[i] = (px[i] - noise_coeff * pe[i]) * inv_sqrt_ab;
+      }
+    }
+    ClampInPlace(&x0, -1.5f, 1.5f);
+
+    if (last) {
+      std::copy_n(x0.data(), x0.numel(), x.data());
+      break;
+    }
+
+    const double sigma2 =
+        config.eta * config.eta * (1.0 - ab_prev) / (1.0 - ab_t) *
+        (1.0 - ab_t / ab_prev);
+    const double dir_coeff =
+        std::sqrt(std::max(1.0 - ab_prev - sigma2, 0.0));
+    const float c0 = static_cast<float>(std::sqrt(ab_prev));
+    const float c1 = static_cast<float>(dir_coeff);
+    const float cs = static_cast<float>(std::sqrt(std::max(sigma2, 0.0)));
+    // Noise must come from each window's own generator in serial order, so
+    // the update walks window slices rather than the flat tensor.
+    for (std::int64_t w = 0; w < batch; ++w) {
+      const float* p0 = x0.data() + w * per_window;
+      const float* pe = eps.data() + w * per_window;
+      float* px = x.data() + w * per_window;
+      Rng* rng = rngs[static_cast<std::size_t>(w)];
+      for (std::int64_t i = 0; i < per_window; ++i) {
+        const float noise = cs > 0.0f ? cs * rng->NormalF() : 0.0f;
+        px[i] = c0 * p0[i] + c1 * pe[i] + noise;
+      }
+    }
+  }
+  return x;
+}
+
 Tensor SampleConditional(SpaceTimeUNet* model, const NoiseSchedule& schedule,
                          const SamplerConfig& config, const Tensor& keyframes,
                          const std::vector<std::int64_t>& key_idx,

@@ -36,4 +36,21 @@ Tensor SampleConditional(SpaceTimeUNet* model, const NoiseSchedule& schedule,
                          std::int64_t frames, Rng& rng,
                          tensor::Workspace* ws = nullptr);
 
+// Batched sampling over B windows stacked along dim 0. `keyframes` is
+// [B*K, C, H, W] (window 0's keyframes first) and `rngs` holds one generator
+// per window, positioned exactly where the per-window SampleConditional call
+// would start drawing. Every denoising step runs the UNet once over all B
+// windows; each window's slice of the returned [B*G, C, H, W] tensor is
+// byte-identical to the serial workspace call for that window (all draws —
+// the initial noise and any eta > 0 stochasticity — happen per window in the
+// serial order). Requires a workspace; the result borrows arena memory.
+Tensor SampleConditionalBatch(SpaceTimeUNet* model,
+                              const NoiseSchedule& schedule,
+                              const SamplerConfig& config,
+                              const Tensor& keyframes,
+                              const std::vector<std::int64_t>& key_idx,
+                              std::int64_t frames,
+                              const std::vector<Rng*>& rngs,
+                              tensor::Workspace* ws);
+
 }  // namespace glsc::diffusion

@@ -1,5 +1,6 @@
 #include "nn/conv.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 #include <vector>
@@ -38,6 +39,13 @@ float* Conv2d::GradColScratch(std::int64_t floats) {
   return grad_col_scratch_.data();
 }
 
+float* Conv2d::BatchOutScratch(std::int64_t floats) {
+  if (static_cast<std::int64_t>(batch_out_scratch_.size()) < floats) {
+    batch_out_scratch_.resize(static_cast<std::size_t>(floats));
+  }
+  return batch_out_scratch_.data();
+}
+
 Shape Conv2d::OutputShape(const Tensor& x) const {
   GLSC_CHECK(x.rank() == 4 && x.dim(1) == in_c_);
   const std::int64_t oh = ConvOutDim(x.dim(2), kernel_, stride_, pad_);
@@ -67,6 +75,58 @@ void Conv2d::ForwardInto(const Tensor& x, Tensor* y) {
            y->data() + b * out_c_ * col_cols, col_cols, bias_.value.data(),
            GemmEpilogue::kBiasRow);
   }
+}
+
+void Conv2d::ForwardBatchedInto(const Tensor& x, Tensor* y) {
+  const std::int64_t batch = x.dim(0);
+  const std::int64_t h = x.dim(2);
+  const std::int64_t w = x.dim(3);
+  const std::int64_t col_rows = in_c_ * kernel_ * kernel_;
+  const std::int64_t col_cols = y->dim(2) * y->dim(3);
+
+  // Frames per merged GEMM, capped so the wide column matrix stays ~4 MiB
+  // (L2-friendly; GEMM throughput is already saturated well before that).
+  constexpr std::int64_t kMergeScratchFloats = std::int64_t{1} << 20;
+  const std::int64_t chunk = std::max<std::int64_t>(
+      1, std::min(batch, kMergeScratchFloats / (col_rows * col_cols)));
+  if (chunk <= 1) {
+    // One frame already fills the budget; merging would buy nothing.
+    ForwardInto(x, y);
+    return;
+  }
+
+  float* columns = ColScratch(col_rows * chunk * col_cols);
+  float* staged = BatchOutScratch(out_c_ * chunk * col_cols);
+  for (std::int64_t b0 = 0; b0 < batch; b0 += chunk) {
+    const std::int64_t bc = std::min(chunk, batch - b0);
+    const std::int64_t total_cols = bc * col_cols;
+    // Frame f's patches occupy columns [f*col_cols, (f+1)*col_cols) of one
+    // [col_rows, total_cols] matrix; every element gets written, so the
+    // reused scratch needs no clearing.
+    for (std::int64_t f = 0; f < bc; ++f) {
+      Im2ColLd(x.data() + (b0 + f) * in_c_ * h * w, in_c_, h, w, kernel_,
+               kernel_, stride_, pad_, columns + f * col_cols, total_cols);
+    }
+    GemmEx(false, false, out_c_, total_cols, col_rows, 1.0f,
+           weight_.value.data(), col_rows, columns, total_cols, 0.0f, staged,
+           total_cols, bias_.value.data(), GemmEpilogue::kBiasRow,
+           &gemm_scratch_);
+    // Un-interleave [out_c, bc * col_cols] back into per-frame NCHW planes.
+    for (std::int64_t f = 0; f < bc; ++f) {
+      float* dst = y->data() + (b0 + f) * out_c_ * col_cols;
+      for (std::int64_t c = 0; c < out_c_; ++c) {
+        std::memcpy(dst + c * col_cols, staged + c * total_cols + f * col_cols,
+                    static_cast<std::size_t>(col_cols) * sizeof(float));
+      }
+    }
+  }
+}
+
+Tensor Conv2d::ForwardBatched(const Tensor& x, tensor::Workspace* ws) {
+  Tensor y =
+      ws != nullptr ? ws->NewTensor(OutputShape(x)) : Tensor::Empty(OutputShape(x));
+  ForwardBatchedInto(x, &y);
+  return y;
 }
 
 Tensor Conv2d::Forward(const Tensor& x, bool /*training*/) {

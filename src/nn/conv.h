@@ -5,6 +5,7 @@
 #pragma once
 
 #include "nn/layer.h"
+#include "tensor/gemm.h"
 
 namespace glsc::nn {
 
@@ -17,6 +18,12 @@ class Conv2d : public Layer {
   // x: [B, C_in, H, W] -> [B, C_out, OH, OW]
   Tensor Forward(const Tensor& x, bool training) override;
   Tensor Forward(const Tensor& x, tensor::Workspace* ws) override;
+  // Merges frames along the GEMM N dimension: im2col for a chunk of frames
+  // lands side by side in one wide column matrix, so the whole chunk is one
+  // weight pass instead of one GEMM per frame. Byte-identical to Forward
+  // (per-output-element accumulation order does not depend on the column
+  // position). Works without a workspace (allocates the output then).
+  Tensor ForwardBatched(const Tensor& x, tensor::Workspace* ws) override;
   Tensor Backward(const Tensor& grad_out) override;
   std::vector<Param*> Params() override;
   std::string Name() const override { return "Conv2d"; }
@@ -29,6 +36,7 @@ class Conv2d : public Layer {
   // im2col + fused-bias GEMM loop writing into the (Empty or arena) output.
   Shape OutputShape(const Tensor& x) const;
   void ForwardInto(const Tensor& x, Tensor* y);
+  void ForwardBatchedInto(const Tensor& x, Tensor* y);
 
   // Grow-only im2col scratch shared by Forward (any overload) and Backward,
   // so repeated calls on same-shaped inputs never re-allocate. Layer
@@ -36,13 +44,16 @@ class Conv2d : public Layer {
   // member scratch is safe.
   float* ColScratch(std::int64_t floats);
   float* GradColScratch(std::int64_t floats);
+  float* BatchOutScratch(std::int64_t floats);
 
   std::int64_t in_c_, out_c_, kernel_, stride_, pad_;
   Param weight_;  // [out_c, in_c * k * k]
   Param bias_;    // [out_c]
   Tensor cached_input_;
-  std::vector<float> col_scratch_;       // im2col columns
-  std::vector<float> grad_col_scratch_;  // backward dcolumns
+  std::vector<float> col_scratch_;        // im2col columns
+  std::vector<float> grad_col_scratch_;   // backward dcolumns
+  std::vector<float> batch_out_scratch_;  // merged-GEMM output staging
+  GemmScratch gemm_scratch_;              // pooled GEMM packing buffers
 };
 
 // Nearest-neighbour 2x spatial upsampling. Backward is a 2x2 sum-pool of the

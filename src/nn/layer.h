@@ -51,6 +51,13 @@ class Layer {
   // dangling view past the scope rewind.
   virtual Tensor Forward(const Tensor& x, tensor::Workspace* ws);
 
+  // Batched inference forward: like Forward(x, ws) but the layer may fuse
+  // work across the full leading dimension (stacked windows x frames) — e.g.
+  // Conv2d merges all frames into wide GEMMs instead of one GEMM per frame.
+  // Output is byte-identical to Forward(x, ws); the default simply falls
+  // back to it. Layers that never see batched decode need not override.
+  virtual Tensor ForwardBatched(const Tensor& x, tensor::Workspace* ws);
+
   // In-place inference where shapes allow (elementwise layers, norms):
   // overwrites *x with the layer output and returns true; the default
   // returns false and the caller falls back to Forward. Only valid when the
@@ -85,6 +92,7 @@ class Sequential : public Layer {
 
   Tensor Forward(const Tensor& x, bool training) override;
   Tensor Forward(const Tensor& x, tensor::Workspace* ws) override;
+  Tensor ForwardBatched(const Tensor& x, tensor::Workspace* ws) override;
   Tensor Backward(const Tensor& grad_out) override;
   std::vector<Param*> Params() override;
   std::string Name() const override { return "Sequential"; }

@@ -33,7 +33,10 @@ DecodeScheduler::DecodeScheduler(const core::ArchiveReader* reader,
 std::vector<Tensor> DecodeScheduler::Fetch(
     const std::vector<std::size_t>& indices) {
   std::vector<Tensor> out(indices.size());
-  std::vector<std::size_t> misses;  // positions in `indices`
+  std::vector<std::size_t> owned;  // positions in `indices` this call decodes
+  std::vector<std::shared_ptr<Flight>> owned_flights;  // parallel to `owned`
+  // Positions whose record a concurrent query is already decoding.
+  std::vector<std::pair<std::size_t, std::shared_ptr<Flight>>> waits;
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (std::size_t i = 0; i < indices.size(); ++i) {
@@ -42,56 +45,186 @@ std::vector<Tensor> DecodeScheduler::Fetch(
         lru_.splice(lru_.begin(), lru_, it->second.first);
         out[i] = it->second.second;
         hits_.fetch_add(1, std::memory_order_relaxed);
-      } else {
-        misses.push_back(i);
+        continue;
       }
+      // Single-flight: the first query to miss a record owns its decode;
+      // later queries (and duplicate indices within this one) wait on the
+      // owner's Flight instead of running the decoder a second time.
+      const auto fit = inflight_.find(indices[i]);
+      if (fit != inflight_.end()) {
+        waits.emplace_back(i, fit->second);
+        continue;
+      }
+      auto flight = std::make_shared<Flight>();
+      inflight_.emplace(indices[i], flight);
+      owned.push_back(i);
+      owned_flights.push_back(std::move(flight));
     }
   }
-  if (misses.empty()) return out;
 
   const Shape& shape = reader_->dataset_shape();
-  const auto decode_one = [&](std::size_t position, std::size_t worker) {
-    // Per-worker lock: concurrent Get() calls fan out over the same worker
-    // slots, and model instances are not thread-safe. Held only for the
-    // decode itself (never across a pool wait), so this cannot deadlock.
-    const std::size_t record = indices[position];
-    const std::vector<std::uint8_t>* view = reader_->PayloadView(record);
-    std::lock_guard<std::mutex> lock(*worker_mu_[worker]);
-    tensor::Workspace* ws = workspaces_[worker].get();
-    Tensor recon = view != nullptr
-                       ? workers_[worker]->DecompressWindow(*view, ws)
-                       : workers_[worker]->DecompressWindow(
-                             reader_->ReadPayload(record), ws);
+  const auto check_geometry = [&](const Tensor& recon, std::size_t record) {
     GLSC_CHECK_MSG(recon.rank() == 3 && recon.dim(1) == shape[2] &&
                        recon.dim(2) == shape[3],
                    "decoded window geometry mismatch");
     GLSC_CHECK(reader_->records()[record].valid_frames <= recon.dim(0));
-    out[position] = std::move(recon);
   };
 
-  const std::size_t fan_out = std::min(workers_.size(), misses.size());
-  if (fan_out <= 1) {
-    for (const std::size_t position : misses) {
-      decode_one(position, 0);
-    }
-  } else {
-    // Static round-robin: worker k owns misses k, k+W, ... so within one
-    // query each model instance is touched by exactly one thread. Runs
-    // inline when already on a pool worker (ThreadPool::ParallelFor detects
-    // re-entry), so serving layers stacked above may themselves fan out.
-    GlobalThreadPool().ParallelFor(fan_out, [&](std::size_t k) {
-      for (std::size_t j = k; j < misses.size(); j += fan_out) {
-        decode_one(misses[j], k);
+  if (!owned.empty()) {
+    // Publishes one decoded chunk: results land in `out`, the cache, and the
+    // records' Flight slots in one critical section. Publication happens per
+    // chunk INSIDE the decode loop — not after the whole fan-out drains — so
+    // waiters unblock as soon as the batch holding their record finishes.
+    const auto publish = [&](const std::size_t* positions, Tensor* recons,
+                             std::size_t n) {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (std::size_t j = 0; j < n; ++j) {
+        const std::size_t position = positions[j];
+        const std::size_t record = indices[position];
+        out[position] = std::move(recons[j]);
+        const auto fit = inflight_.find(record);
+        if (fit != inflight_.end()) {
+          fit->second->done = true;
+          fit->second->result = out[position];
+          inflight_.erase(fit);
+        }
+        if (options_.cache_windows > 0) Insert(record, out[position]);
       }
-    });
-  }
-  decoded_.fetch_add(static_cast<std::int64_t>(misses.size()),
-                     std::memory_order_relaxed);
+      decoded_.fetch_add(static_cast<std::int64_t>(n),
+                         std::memory_order_relaxed);
+      cv_.notify_all();
+    };
 
-  if (options_.cache_windows > 0) {
-    std::lock_guard<std::mutex> lock(mu_);
-    for (const std::size_t position : misses) {
-      Insert(indices[position], out[position]);
+    // Contiguous chunks of at most max_batch owned records; worker k decodes
+    // chunks k, k+W, ... so within one query each model instance is touched
+    // by exactly one thread.
+    const std::size_t max_batch = static_cast<std::size_t>(
+        std::max<std::int64_t>(1, options_.max_batch));
+    std::vector<std::pair<std::size_t, std::size_t>> chunks;  // [begin, end)
+    for (std::size_t begin = 0; begin < owned.size(); begin += max_batch) {
+      chunks.emplace_back(begin, std::min(owned.size(), begin + max_batch));
+    }
+
+    const auto decode_chunk = [&](std::size_t c, std::size_t worker) {
+      const std::size_t begin = chunks[c].first;
+      const std::size_t n = chunks[c].second - begin;
+      // Per-worker lock: concurrent Get() calls fan out over the same worker
+      // slots, and model instances are not thread-safe. Held only for the
+      // decode itself (never across a pool or flight wait), so this cannot
+      // deadlock.
+      std::lock_guard<std::mutex> lock(*worker_mu_[worker]);
+      tensor::Workspace* ws = workspaces_[worker].get();
+      std::vector<Tensor> recons;
+      if (options_.max_batch <= 1 || n == 1) {
+        // Per-record dispatch: max_batch <= 1 (legacy behavior, the "serial"
+        // arm of bench_e2e_decode) and single-record tails take the exact
+        // code path this scheduler always had.
+        recons.reserve(n);
+        for (std::size_t j = begin; j < begin + n; ++j) {
+          const std::size_t record = indices[owned[j]];
+          const std::vector<std::uint8_t>* view = reader_->PayloadView(record);
+          recons.push_back(view != nullptr
+                               ? workers_[worker]->DecompressWindow(*view, ws)
+                               : workers_[worker]->DecompressWindow(
+                                     reader_->ReadPayload(record), ws));
+        }
+      } else {
+        // Batched dispatch: ONE DecompressWindows call for the whole chunk.
+        // Payloads the reader cannot expose as views are read into
+        // owned_bytes, which is reserved up front because `payloads` keeps
+        // pointers into it.
+        std::vector<std::vector<std::uint8_t>> owned_bytes;
+        owned_bytes.reserve(n);
+        std::vector<const std::vector<std::uint8_t>*> payloads;
+        payloads.reserve(n);
+        for (std::size_t j = begin; j < begin + n; ++j) {
+          const std::size_t record = indices[owned[j]];
+          const std::vector<std::uint8_t>* view = reader_->PayloadView(record);
+          if (view == nullptr) {
+            owned_bytes.push_back(reader_->ReadPayload(record));
+            view = &owned_bytes.back();
+          }
+          payloads.push_back(view);
+        }
+        recons = workers_[worker]->DecompressWindows(payloads, ws);
+        GLSC_CHECK(recons.size() == n);
+      }
+      for (std::size_t j = 0; j < n; ++j) {
+        check_geometry(recons[j], indices[owned[begin + j]]);
+      }
+      publish(owned.data() + begin, recons.data(), n);
+    };
+
+    const std::size_t fan_out = std::min(workers_.size(), chunks.size());
+    try {
+      if (fan_out <= 1) {
+        for (std::size_t c = 0; c < chunks.size(); ++c) decode_chunk(c, 0);
+      } else {
+        // Runs inline when already on a pool worker (ThreadPool::ParallelFor
+        // detects re-entry), so serving layers stacked above may themselves
+        // fan out.
+        GlobalThreadPool().ParallelFor(fan_out, [&](std::size_t k) {
+          for (std::size_t c = k; c < chunks.size(); c += fan_out) {
+            decode_chunk(c, k);
+          }
+        });
+      }
+    } catch (...) {
+      // Abort every owned flight that was never published so waiters on other
+      // threads re-decode for themselves instead of blocking forever. The
+      // pointer comparison guards against erasing a successor flight: once a
+      // record is published and then evicted, a new query may have opened a
+      // fresh flight for it under the same key.
+      std::lock_guard<std::mutex> lock(mu_);
+      for (std::size_t j = 0; j < owned.size(); ++j) {
+        const std::shared_ptr<Flight>& flight = owned_flights[j];
+        if (flight->done) continue;
+        flight->aborted = true;
+        const auto fit = inflight_.find(indices[owned[j]]);
+        if (fit != inflight_.end() && fit->second == flight) {
+          inflight_.erase(fit);
+        }
+      }
+      cv_.notify_all();
+      throw;
+    }
+  }
+
+  // Collect results concurrent queries decoded for us. Every owned record is
+  // already published (or this call threw), so waiting here cannot deadlock:
+  // the flights below belong to OTHER in-progress Fetch calls, which publish
+  // or abort without needing anything from this one.
+  if (!waits.empty()) {
+    std::unique_lock<std::mutex> lock(mu_);
+    for (const auto& wait : waits) {
+      const std::size_t position = wait.first;
+      const std::shared_ptr<Flight>& flight = wait.second;
+      cv_.wait(lock, [&] { return flight->done || flight->aborted; });
+      if (flight->done) {
+        // Served without running the decoder — counts as a cache hit.
+        out[position] = flight->result;
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      // The owner failed before publishing; decode the record ourselves.
+      // mu_ must be dropped before taking a worker lock (decoders take
+      // worker_mu_ then mu_ to publish — the reverse order would deadlock).
+      lock.unlock();
+      const std::size_t record = indices[position];
+      Tensor recon;
+      {
+        std::lock_guard<std::mutex> wlock(*worker_mu_[0]);
+        const std::vector<std::uint8_t>* view = reader_->PayloadView(record);
+        recon = view != nullptr
+                    ? workers_[0]->DecompressWindow(*view, workspaces_[0].get())
+                    : workers_[0]->DecompressWindow(
+                          reader_->ReadPayload(record), workspaces_[0].get());
+      }
+      check_geometry(recon, record);
+      decoded_.fetch_add(1, std::memory_order_relaxed);
+      lock.lock();
+      out[position] = std::move(recon);
+      if (options_.cache_windows > 0) Insert(record, out[position]);
     }
   }
   return out;

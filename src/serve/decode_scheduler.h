@@ -19,6 +19,7 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -36,8 +37,19 @@ struct ScheduleOptions {
   // distributes cache misses over the global ThreadPool.
   std::int64_t workers = 1;
   // Decoded records kept in the LRU cache (each is one normalized
-  // [window, H, W] tensor). 0 disables caching.
+  // [window, H, W] tensor). 0 disables caching. NOTE: cache_windows may be
+  // smaller than a coalesced decode batch — records published by one batch
+  // can evict each other inside a single Insert pass, but the Fetch results
+  // themselves are unaffected because `out[]` holds its own (shared-storage)
+  // copy of every decoded tensor; eviction only costs a future re-decode.
   std::size_t cache_windows = 32;
+  // Cache-miss records owned by one worker are coalesced into batched
+  // Compressor::DecompressWindows calls of at most this many payloads, so
+  // model-based codecs (GLSC) run ONE diffusion/VAE pass over the stacked
+  // windows instead of one per record. <= 1 restores the per-record
+  // DecompressWindow dispatch. Results are byte-identical either way —
+  // batching is a dispatch choice, never a quality choice.
+  std::int64_t max_batch = 8;
 };
 
 class DecodeScheduler {
@@ -67,8 +79,20 @@ class DecodeScheduler {
   }
 
  private:
+  // Single-flight slot for one record being decoded: the first query to miss
+  // a record owns its decode; concurrent queries missing the same record wait
+  // on the flight instead of decoding it again. `aborted` is set when the
+  // owner failed before publishing, telling waiters to decode for themselves.
+  struct Flight {
+    bool done = false;
+    bool aborted = false;
+    Tensor result;
+  };
+
   // Decoded normalized windows for `indices` (records() positions), from the
-  // cache where possible, decoding the rest in parallel.
+  // cache where possible, decoding the rest in parallel — coalesced into
+  // batches of up to options_.max_batch per worker, deduplicated against
+  // concurrent queries via the in-flight table.
   std::vector<Tensor> Fetch(const std::vector<std::size_t>& indices);
   void Insert(std::size_t record, const Tensor& decoded);  // mu_ held
 
@@ -93,6 +117,11 @@ class DecodeScheduler {
   std::unordered_map<std::size_t,
                      std::pair<std::list<std::size_t>::iterator, Tensor>>
       cache_;
+  // Records currently being decoded by some in-progress Fetch (mu_ held).
+  // Entries are erased when their result is published; waiters keep the
+  // Flight alive through their shared_ptr.
+  std::unordered_map<std::size_t, std::shared_ptr<Flight>> inflight_;
+  std::condition_variable cv_;  // signaled on publish/abort, mu_ held
   std::atomic<std::int64_t> decoded_{0};
   std::atomic<std::int64_t> hits_{0};
 };

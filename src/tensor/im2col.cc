@@ -7,12 +7,22 @@ void Im2Col(const float* input, std::int64_t channels, std::int64_t height,
             std::int64_t stride, std::int64_t pad, float* columns) {
   const std::int64_t oh = ConvOutDim(height, kh, stride, pad);
   const std::int64_t ow = ConvOutDim(width, kw, stride, pad);
+  Im2ColLd(input, channels, height, width, kh, kw, stride, pad, columns,
+           oh * ow);
+}
+
+void Im2ColLd(const float* input, std::int64_t channels, std::int64_t height,
+              std::int64_t width, std::int64_t kh, std::int64_t kw,
+              std::int64_t stride, std::int64_t pad, float* columns,
+              std::int64_t col_ld) {
+  const std::int64_t oh = ConvOutDim(height, kh, stride, pad);
+  const std::int64_t ow = ConvOutDim(width, kw, stride, pad);
   // Row index of `columns` is (c, ki, kj); column index is (oy, ox).
   for (std::int64_t c = 0; c < channels; ++c) {
     const float* in_c = input + c * height * width;
     for (std::int64_t ki = 0; ki < kh; ++ki) {
       for (std::int64_t kj = 0; kj < kw; ++kj) {
-        float* out_row = columns + ((c * kh + ki) * kw + kj) * oh * ow;
+        float* out_row = columns + ((c * kh + ki) * kw + kj) * col_ld;
         for (std::int64_t oy = 0; oy < oh; ++oy) {
           const std::int64_t iy = oy * stride - pad + ki;
           if (iy < 0 || iy >= height) {

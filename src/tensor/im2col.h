@@ -13,6 +13,16 @@ void Im2Col(const float* input, std::int64_t channels, std::int64_t height,
             std::int64_t width, std::int64_t kh, std::int64_t kw,
             std::int64_t stride, std::int64_t pad, float* columns);
 
+// As Im2Col, but writes each of the C*KH*KW rows with leading dimension
+// `col_ld` (in floats) instead of the packed OH*OW. Lets several frames share
+// one wide column matrix: point `columns` at frame f's first column inside a
+// [C*KH*KW, col_ld] buffer and the frames' patches land side by side, ready
+// for a single merged GEMM.
+void Im2ColLd(const float* input, std::int64_t channels, std::int64_t height,
+              std::int64_t width, std::int64_t kh, std::int64_t kw,
+              std::int64_t stride, std::int64_t pad, float* columns,
+              std::int64_t col_ld);
+
 // Inverse scatter-add of Im2Col: accumulates columns back into input layout.
 // `input` must be zero-initialized by the caller.
 void Col2Im(const float* columns, std::int64_t channels, std::int64_t height,

@@ -1,0 +1,244 @@
+// Byte-identity of the batched decode stack against the serial workspace
+// path, at every dispatch level the tentpole touches:
+//
+//   Conv2d::ForwardBatched        — frame-merged im2col GEMM vs per-frame
+//   MultiHeadSelfAttention        — pooled-scratch forward vs plain workspace
+//   SpaceTimeUNet::Forward(B)     — one pass over B stacked windows vs B
+//                                   rank-4 passes
+//   SampleConditionalBatch        — batched DDIM ladder vs per-window sampling
+//   VaeHyperprior::DecodeLatent-  — merged decoder convolutions
+//   GlscCompressor::DecompressB.  — the full pipeline, B ∈ {1, 2, 5}
+//
+// "Identical" here always means bitwise: batching is a dispatch choice, never
+// a quality choice. Untrained weights are fine — the pipeline is
+// deterministic, so equality is meaningful without a training run.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "compress/vae.h"
+#include "core/glsc_compressor.h"
+#include "core/registry.h"
+#include "data/field_generators.h"
+#include "diffusion/noise_schedule.h"
+#include "diffusion/sampler.h"
+#include "diffusion/spacetime_unet.h"
+#include "nn/attention.h"
+#include "nn/conv.h"
+#include "tensor/tensor.h"
+#include "tensor/workspace.h"
+#include "util/rng.h"
+
+namespace glsc {
+namespace {
+
+using tensor::Workspace;
+
+void ExpectBytesEqual(const Tensor& a, const Tensor& b) {
+  ASSERT_EQ(a.shape(), b.shape());
+  ASSERT_EQ(0, std::memcmp(a.data(), b.data(),
+                           static_cast<std::size_t>(a.numel()) * sizeof(float)))
+      << "tensors differ bitwise";
+}
+
+TEST(BatchedConv, ForwardBatchedMatchesForward) {
+  Rng rng(21);
+  // Odd geometry on purpose: stride 2 with padding exercises the chunked
+  // frame-merge boundaries.
+  for (const std::int64_t stride : {1, 2}) {
+    nn::Conv2d conv(3, 5, 3, stride, 1, rng);
+    for (const std::int64_t frames : {1, 2, 7}) {
+      Tensor x = Tensor::Randn({frames, 3, 12, 12}, rng);
+      Workspace ws;
+      const Tensor ref = conv.Forward(x, &ws);
+      const Tensor batched = conv.ForwardBatched(x, &ws);
+      ExpectBytesEqual(ref, batched);
+      // And without a workspace (allocating path).
+      const Tensor batched_alloc = conv.ForwardBatched(x, nullptr);
+      ExpectBytesEqual(ref, batched_alloc);
+    }
+  }
+}
+
+TEST(BatchedAttention, ForwardBatchedMatchesForward) {
+  Rng rng(23);
+  nn::MultiHeadSelfAttention attn(8, 2, rng);
+  for (const std::int64_t batch : {1, 3, 6}) {
+    Tensor x = Tensor::Randn({batch, 5, 8}, rng);
+    Workspace ws;
+    const Tensor ref = attn.Forward(x, &ws);
+    const Tensor batched = attn.ForwardBatched(x, &ws);
+    ExpectBytesEqual(ref, batched);
+  }
+}
+
+TEST(BatchedUNet, StackedWindowsMatchSerialPerWindow) {
+  diffusion::UNetConfig config;
+  config.latent_channels = 4;
+  config.model_channels = 8;
+  config.heads = 2;
+  config.seed = 5;
+  diffusion::SpaceTimeUNet unet(config);
+
+  const std::int64_t n = 6, c = 4, h = 8, w = 8;
+  Rng rng(31);
+  for (const std::int64_t batch : {1, 2, 5}) {
+    Tensor stacked = Tensor::Randn({batch * n, c, h, w}, rng);
+    Workspace ws;
+    const Tensor out = unet.Forward(stacked, /*t=*/17, &ws, batch);
+    ASSERT_EQ(out.shape(), stacked.shape());
+    for (std::int64_t b = 0; b < batch; ++b) {
+      // Serial reference: the rank-4 workspace forward on this window alone.
+      Tensor window = Tensor::Empty({n, c, h, w});
+      std::memcpy(window.data(), stacked.data() + b * n * c * h * w,
+                  static_cast<std::size_t>(n * c * h * w) * sizeof(float));
+      Workspace serial_ws;
+      const Tensor ref = unet.Forward(window, /*t=*/17, &serial_ws);
+      ASSERT_EQ(0, std::memcmp(ref.data(), out.data() + b * n * c * h * w,
+                               static_cast<std::size_t>(n * c * h * w) *
+                                   sizeof(float)))
+          << "batch " << batch << ", window " << b;
+    }
+  }
+}
+
+TEST(BatchedSampler, MatchesSerialPerWindow) {
+  diffusion::UNetConfig config;
+  config.latent_channels = 4;
+  config.model_channels = 8;
+  config.heads = 2;
+  config.seed = 7;
+  diffusion::SpaceTimeUNet unet(config);
+  diffusion::NoiseSchedule schedule(diffusion::ScheduleKind::kLinear, 50);
+  diffusion::SamplerConfig sampler;
+  sampler.steps = 4;
+
+  const std::vector<std::int64_t> key_idx{0, 3, 6, 7};
+  const std::int64_t frames = 8;
+  const std::int64_t k = static_cast<std::int64_t>(key_idx.size());
+  const std::int64_t g = frames - k;
+  const std::int64_t c = 4, h = 6, w = 6;
+
+  Rng data_rng(41);
+  for (const std::int64_t batch : {1, 2, 5}) {
+    Tensor keys = Tensor::Randn({batch * k, c, h, w}, data_rng);
+    std::vector<Rng> rng_storage;
+    rng_storage.reserve(static_cast<std::size_t>(batch));
+    std::vector<Rng*> rngs;
+    for (std::int64_t b = 0; b < batch; ++b) {
+      rng_storage.emplace_back(100 + static_cast<std::uint64_t>(b));
+    }
+    for (auto& r : rng_storage) rngs.push_back(&r);
+
+    Workspace ws;
+    const Tensor out = diffusion::SampleConditionalBatch(
+        &unet, schedule, sampler, keys, key_idx, frames, rngs, &ws);
+    ASSERT_EQ(out.shape(), (Shape{batch * g, c, h, w}));
+
+    for (std::int64_t b = 0; b < batch; ++b) {
+      Tensor window_keys = Tensor::Empty({k, c, h, w});
+      std::memcpy(window_keys.data(), keys.data() + b * k * c * h * w,
+                  static_cast<std::size_t>(k * c * h * w) * sizeof(float));
+      Rng serial_rng(100 + static_cast<std::uint64_t>(b));
+      Workspace serial_ws;
+      const Tensor ref = diffusion::SampleConditional(
+          &unet, schedule, sampler, window_keys, key_idx, frames, serial_rng,
+          &serial_ws);
+      ASSERT_EQ(0, std::memcmp(ref.data(), out.data() + b * g * c * h * w,
+                               static_cast<std::size_t>(g * c * h * w) *
+                                   sizeof(float)))
+          << "batch " << batch << ", window " << b;
+    }
+  }
+}
+
+TEST(BatchedVae, DecodeLatentBatchedMatchesSerial) {
+  compress::VaeConfig config;
+  config.latent_channels = 4;
+  config.hidden_channels = 6;
+  config.hyper_channels = 2;
+  config.seed = 3;
+  compress::VaeHyperprior vae(config);
+
+  Rng rng(51);
+  for (const std::int64_t frames : {1, 4, 10}) {
+    Tensor y = Tensor::Randn({frames, 4, 4, 4}, rng);
+    Workspace ws;
+    const Tensor ref = vae.DecodeLatent(y, &ws);
+    const Tensor batched = vae.DecodeLatentBatched(y, &ws);
+    ExpectBytesEqual(ref, batched);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Full pipeline: DecompressBatch vs Decompress, window by window.
+// ---------------------------------------------------------------------------
+
+core::GlscConfig SmallGlscConfig() {
+  core::GlscConfig config;
+  config.vae.latent_channels = 4;
+  config.vae.hidden_channels = 6;
+  config.vae.hyper_channels = 2;
+  config.vae.seed = 3;
+  config.unet.latent_channels = 4;
+  config.unet.model_channels = 8;
+  config.unet.heads = 2;
+  config.unet.seed = 5;
+  config.schedule_steps = 40;
+  config.window = 8;
+  config.interval = 3;
+  config.sample_steps = 3;
+  return config;
+}
+
+TEST(BatchedGlsc, DecompressBatchMatchesSerialDecompress) {
+  core::GlscCompressor glsc(SmallGlscConfig());
+
+  data::FieldSpec spec;
+  spec.frames = 40;  // five 8-frame windows
+  spec.height = 16;
+  spec.width = 16;
+  spec.seed = 99;
+  const Tensor field = data::GenerateClimate(spec);  // [1, 40, 16, 16]
+
+  // tau > 0 requires a fitted correction basis; 2 windows is plenty for an
+  // identity test (the basis just has to exist and be used on both paths).
+  data::SequenceDataset dataset(field.Clone());
+  core::FitPcaFromResiduals(&glsc, dataset, /*fit_windows=*/2, /*crop=*/16);
+
+  std::vector<core::CompressedWindow> compressed;
+  for (std::int64_t w = 0; w < 5; ++w) {
+    Tensor window = Tensor::Empty({8, 16, 16});
+    std::memcpy(window.data(), field.data() + w * 8 * 16 * 16,
+                static_cast<std::size_t>(8 * 16 * 16) * sizeof(float));
+    // tau > 0 so some windows carry PCA corrections — the batch path must
+    // apply them per window exactly like the serial path.
+    compressed.push_back(glsc.Compress(window, /*tau=*/0.5));
+  }
+
+  std::vector<Tensor> refs;
+  for (const auto& cw : compressed) refs.push_back(glsc.Decompress(cw));
+
+  for (const std::size_t batch : {std::size_t{1}, std::size_t{2},
+                                  std::size_t{5}}) {
+    std::vector<const core::CompressedWindow*> views;
+    for (std::size_t i = 0; i < batch; ++i) views.push_back(&compressed[i]);
+    Workspace ws;
+    const std::vector<Tensor> got = glsc.DecompressBatch(views, 0, &ws);
+    ASSERT_EQ(got.size(), batch);
+    for (std::size_t i = 0; i < batch; ++i) {
+      EXPECT_FALSE(got[i].borrowed());  // arena memory must not escape
+      ExpectBytesEqual(refs[i], got[i]);
+    }
+    // Null workspace (local arena) must give the same bytes.
+    const std::vector<Tensor> local = glsc.DecompressBatch(views);
+    ASSERT_EQ(local.size(), batch);
+    for (std::size_t i = 0; i < batch; ++i) {
+      ExpectBytesEqual(refs[i], local[i]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace glsc

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstring>
 #include <filesystem>
 #include <memory>
@@ -24,12 +25,16 @@ namespace glsc::serve {
 namespace {
 
 // Counts DecompressWindow calls across a codec and all its clones, so tests
-// can assert exactly how many records a query decoded.
+// can assert exactly how many records a query decoded. Deliberately does NOT
+// override DecompressWindows: the batched dispatch falls back to the base
+// per-window loop, so every decoded record is counted under either dispatch.
+// An optional per-decode delay widens race windows for concurrency tests.
 class CountingCodec final : public api::Compressor {
  public:
   CountingCodec(std::unique_ptr<api::Compressor> inner,
-                std::shared_ptr<std::atomic<int>> calls)
-      : inner_(std::move(inner)), calls_(std::move(calls)) {}
+                std::shared_ptr<std::atomic<int>> calls, int delay_ms = 0)
+      : inner_(std::move(inner)), calls_(std::move(calls)),
+        delay_ms_(delay_ms) {}
 
   std::string name() const override { return inner_->name(); }
   api::Capabilities capabilities() const override {
@@ -43,15 +48,19 @@ class CountingCodec final : public api::Compressor {
   }
   Tensor DecompressWindow(const std::vector<std::uint8_t>& payload) override {
     calls_->fetch_add(1);
+    if (delay_ms_ > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms_));
+    }
     return inner_->DecompressWindow(payload);
   }
   std::unique_ptr<api::Compressor> Clone() override {
-    return std::make_unique<CountingCodec>(inner_->Clone(), calls_);
+    return std::make_unique<CountingCodec>(inner_->Clone(), calls_, delay_ms_);
   }
 
  private:
   std::unique_ptr<api::Compressor> inner_;
   std::shared_ptr<std::atomic<int>> calls_;
+  int delay_ms_ = 0;
 };
 
 // [2, 40, 32, 32] with window 16: per variable, full records at t0 = 0 and 16
@@ -77,8 +86,11 @@ Tensor MakeField(std::uint64_t seed = 111, std::int64_t variables = 2) {
 }
 
 // Writes `archive` in the v2 wire format (no index/footer) to exercise the
-// scan-built index path.
-std::vector<std::uint8_t> SerializeAsV2(const core::DatasetArchive& archive) {
+// scan-built index path. `skip_entry` (an entries() index) drops that record
+// from the stream, producing an archive with a coverage hole.
+std::vector<std::uint8_t> SerializeAsV2(
+    const core::DatasetArchive& archive,
+    std::size_t skip_entry = static_cast<std::size_t>(-1)) {
   ByteWriter out;
   out.PutBytes("GLSC", 4);
   out.PutU8(2);
@@ -93,8 +105,11 @@ std::vector<std::uint8_t> SerializeAsV2(const core::DatasetArchive& archive) {
       out.PutF32(archive.norm(v, t).range);
     }
   }
-  out.PutVarU64(archive.entries().size());
-  for (const auto& entry : archive.entries()) {
+  const bool skipping = skip_entry < archive.entries().size();
+  out.PutVarU64(archive.entries().size() - (skipping ? 1 : 0));
+  for (std::size_t i = 0; i < archive.entries().size(); ++i) {
+    if (i == skip_entry) continue;
+    const auto& entry = archive.entries()[i];
     out.PutVarU64(static_cast<std::uint64_t>(entry.variable));
     out.PutVarU64(static_cast<std::uint64_t>(entry.t0));
     out.PutVarU64(static_cast<std::uint64_t>(entry.valid_frames));
@@ -430,6 +445,159 @@ TEST(DecodeScheduler, ConcurrentGetsAreSafeAndConsistent) {
   }
   for (auto& t : threads) t.join();
   EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(DecodeScheduler, BatchedDispatchMatchesSerialForAnyWorkerCount) {
+  // The coalesced DecompressWindows dispatch must be byte-identical to the
+  // per-record dispatch for every (workers, max_batch) combination; the cache
+  // is off so every query pays real decodes through the chosen dispatch.
+  const Tensor field = MakeField(163);  // 2 variables, 6 records
+  const core::DatasetArchive archive = EncodeSzArchive(field);
+  auto codec = api::Compressor::Create("sz");
+  api::DecodeSession session(codec.get(), archive);
+  const Tensor reference = session.DecodeAll();
+
+  const auto reader = core::ArchiveReader::FromBytes(archive.Serialize());
+  const std::int64_t frames = field.dim(1);
+  const std::int64_t hw = field.dim(2) * field.dim(3);
+  for (const std::int64_t workers : {1, 4}) {
+    for (const std::int64_t max_batch : {1, 2, 5, 8}) {
+      ScheduleOptions options;
+      options.workers = workers;
+      options.cache_windows = 0;
+      options.max_batch = max_batch;
+      DecodeScheduler scheduler(&reader, codec.get(), options);
+      const Tensor full = scheduler.GetAll();
+      ASSERT_EQ(full.shape(), reference.shape());
+      EXPECT_EQ(std::memcmp(full.data(), reference.data(),
+                            static_cast<std::size_t>(full.numel()) *
+                                sizeof(float)),
+                0)
+          << workers << " workers, max_batch " << max_batch;
+      for (std::int64_t v = 0; v < field.dim(0); ++v) {
+        const Tensor slice = scheduler.Get(v, 0, frames);
+        EXPECT_EQ(std::memcmp(slice.data(),
+                              reference.data() + v * frames * hw,
+                              static_cast<std::size_t>(frames * hw) *
+                                  sizeof(float)),
+                  0)
+            << "variable " << v << ", " << workers << " workers, max_batch "
+            << max_batch;
+      }
+    }
+  }
+}
+
+TEST(DecodeScheduler, ConcurrentIdenticalQueriesDecodeEachRecordOnce) {
+  // Single-flight regression: concurrent queries missing the same records
+  // must not decode any record twice. The per-decode delay keeps all four
+  // threads inside the decode window, so without the in-flight table each
+  // thread would race past the (still empty) cache and run its own decodes.
+  const Tensor field = MakeField(173, /*variables=*/1);  // 3 records
+  const core::DatasetArchive archive = EncodeSzArchive(field);
+  auto plain = api::Compressor::Create("sz");
+  api::DecodeSession session(plain.get(), archive);
+  const Tensor reference = session.DecodeAll();
+
+  auto calls = std::make_shared<std::atomic<int>>(0);
+  CountingCodec codec(api::Compressor::Create("sz"), calls, /*delay_ms=*/25);
+  const auto reader = core::ArchiveReader::FromBytes(archive.Serialize());
+  DecodeScheduler scheduler(&reader, &codec);
+
+  const std::int64_t frames = field.dim(1);
+  const std::int64_t hw = field.dim(2) * field.dim(3);
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 4; ++i) {
+    threads.emplace_back([&] {
+      const Tensor slice = scheduler.Get(0, 0, frames);
+      if (std::memcmp(slice.data(), reference.data(),
+                      static_cast<std::size_t>(frames * hw) *
+                          sizeof(float)) != 0) {
+        mismatches.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  // 3 unique misses — every further serve came from a flight or the cache.
+  EXPECT_EQ(calls->load(), 3);
+  EXPECT_EQ(scheduler.decoded_records(), 3);
+  EXPECT_EQ(scheduler.cache_hits(), 4 * 3 - 3);
+}
+
+TEST(DecodeScheduler, BatchLargerThanCacheStillReturnsCorrectBytes) {
+  // cache_windows = 1 with a 3-record coalesced batch: the publish pass
+  // inserts three records through a capacity-1 LRU, so they evict each other
+  // inside one Insert loop. The fetch results must be unaffected — `out[]`
+  // holds its own copy of every decoded tensor — and the cache must end up
+  // holding exactly the last-published record.
+  const Tensor field = MakeField(179, /*variables=*/1);  // 3 records
+  const core::DatasetArchive archive = EncodeSzArchive(field);
+  auto plain = api::Compressor::Create("sz");
+  api::DecodeSession session(plain.get(), archive);
+  const Tensor reference = session.DecodeAll();
+
+  auto calls = std::make_shared<std::atomic<int>>(0);
+  CountingCodec codec(api::Compressor::Create("sz"), calls);
+  const auto reader = core::ArchiveReader::FromBytes(archive.Serialize());
+  ScheduleOptions options;
+  options.workers = 1;  // deterministic publish order
+  options.cache_windows = 1;
+  options.max_batch = 8;
+  DecodeScheduler scheduler(&reader, &codec, options);
+
+  const std::int64_t frames = field.dim(1);
+  const std::int64_t hw = field.dim(2) * field.dim(3);
+  const Tensor full = scheduler.Get(0, 0, frames);
+  EXPECT_EQ(std::memcmp(full.data(), reference.data(),
+                        static_cast<std::size_t>(frames * hw) *
+                            sizeof(float)),
+            0);
+  EXPECT_EQ(calls->load(), 3);
+
+  // The survivor is the last record published (t0 = 32): re-fetching it hits.
+  (void)scheduler.Get(0, 32, 40);
+  EXPECT_EQ(calls->load(), 3);
+  // Any earlier record was evicted during the batch publish: miss.
+  (void)scheduler.Get(0, 0, 8);
+  EXPECT_EQ(calls->load(), 4);
+}
+
+TEST(DecodeScheduler, UncoveredFramesStayExactlyZero) {
+  // An archive with a coverage hole (the t0=16 record dropped): Get over a
+  // range spanning the hole must return the covered frames bit-exactly and
+  // leave every uncovered frame at exactly 0.0f — no denormalization may
+  // touch frames no record covers.
+  const Tensor field = MakeField(181, /*variables=*/1);
+  const core::DatasetArchive archive = EncodeSzArchive(field);
+  std::size_t hole = archive.entries().size();
+  for (std::size_t i = 0; i < archive.entries().size(); ++i) {
+    if (archive.entries()[i].t0 == 16) hole = i;
+  }
+  ASSERT_LT(hole, archive.entries().size());
+
+  auto codec = api::Compressor::Create("sz");
+  api::DecodeSession session(codec.get(), archive);
+  const Tensor reference = session.DecodeAll();
+
+  const auto reader =
+      core::ArchiveReader::FromBytes(SerializeAsV2(archive, hole));
+  ASSERT_EQ(reader.records().size(), archive.entries().size() - 1);
+  DecodeScheduler scheduler(&reader, codec.get());
+
+  const std::int64_t hw = field.dim(2) * field.dim(3);
+  const Tensor slice = scheduler.Get(0, 8, 36);  // [8,16) + hole + [32,36)
+  ASSERT_EQ(slice.shape(), (Shape{28, field.dim(2), field.dim(3)}));
+  EXPECT_EQ(std::memcmp(slice.data(), reference.data() + 8 * hw,
+                        static_cast<std::size_t>(8 * hw) * sizeof(float)),
+            0);
+  EXPECT_EQ(std::memcmp(slice.data() + 24 * hw, reference.data() + 32 * hw,
+                        static_cast<std::size_t>(4 * hw) * sizeof(float)),
+            0);
+  for (std::int64_t k = 8 * hw; k < 24 * hw; ++k) {
+    ASSERT_EQ(slice.data()[k], 0.0f) << "uncovered frame element " << k;
+  }
 }
 
 TEST(DecodeScheduler, RejectsCodecMismatch) {
