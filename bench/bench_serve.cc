@@ -1,0 +1,334 @@
+// Multi-tenant serving front end under load (serve::ShardManager) — two arms:
+//
+//   sustained — several client threads issue range queries against a small
+//               shard fleet at a rate the fleet can absorb. A handful of
+//               transient decode faults are injected so the retry path is
+//               exercised (and counted) under otherwise-clean load. Reports
+//               sustained QPS and p50/p99 request latency; every request must
+//               complete.
+//   overload  — more clients than the single worker can serve, a small
+//               bounded queue, per-request deadlines, and a slow-decode fault
+//               on every record. The point is graceful degradation: the queue
+//               sheds (kQueueFull) instead of growing, stale queued requests
+//               time out (kDeadlineExceeded) instead of hogging the worker,
+//               and the latency of the requests that ARE served stays bounded.
+//               Reports accepted-request QPS/p50/p99, shed / timeout counts,
+//               and the maximum observed queue depth (never above capacity).
+//
+// Emits BENCH_serve.json; scripts/check.sh gates on the file existing with
+// finite sustained/overload numbers and a NONZERO overload shed count — an
+// overload arm that never sheds is not testing overload.
+//
+//   ./bench_serve [--shards=2] [--clients=4] [--requests=64]
+//                 [--overload-clients=6] [--overload-requests=40]
+//                 [--deadline-ms=60] [--slow-ms=3] [--json=BENCH_serve.json]
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/session.h"
+#include "core/archive_reader.h"
+#include "core/container.h"
+#include "data/field_generators.h"
+#include "serve/fault_injector.h"
+#include "serve/shard_manager.h"
+#include "util/flags.h"
+#include "util/timer.h"
+
+namespace {
+
+double PercentileMs(std::vector<double>* latencies_ms, double q) {
+  if (latencies_ms->empty()) return 0.0;
+  std::sort(latencies_ms->begin(), latencies_ms->end());
+  const double pos = q * double(latencies_ms->size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, latencies_ms->size() - 1);
+  const double frac = pos - double(lo);
+  return (*latencies_ms)[lo] * (1.0 - frac) + (*latencies_ms)[hi] * frac;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace glsc;
+  Flags flags(argc, argv);
+  const std::string json_path = flags.GetString("json", "BENCH_serve.json");
+  const std::int64_t num_shards =
+      std::max<std::int64_t>(flags.GetInt("shards", 2), 1);
+  const std::int64_t clients =
+      std::max<std::int64_t>(flags.GetInt("clients", 4), 1);
+  const std::int64_t requests_per_client =
+      std::max<std::int64_t>(flags.GetInt("requests", 64), 1);
+  const std::int64_t overload_clients =
+      std::max<std::int64_t>(flags.GetInt("overload-clients", 6), 2);
+  const std::int64_t overload_requests =
+      std::max<std::int64_t>(flags.GetInt("overload-requests", 40), 1);
+  const std::int64_t deadline_ms =
+      std::max<std::int64_t>(flags.GetInt("deadline-ms", 40), 1);
+  const int slow_ms = static_cast<int>(
+      std::max<std::int64_t>(flags.GetInt("slow-ms", 5), 1));
+
+  // One sz archive per shard (model-free codec: the bench measures the
+  // serving machinery, not diffusion decode speed). [2, 40, 32, 32] fields:
+  // 3 records per variable, 6 per shard.
+  std::vector<core::ArchiveReader> readers;
+  std::vector<std::unique_ptr<api::Compressor>> codecs;
+  readers.reserve(static_cast<std::size_t>(num_shards));
+  for (std::int64_t s = 0; s < num_shards; ++s) {
+    data::FieldSpec spec;
+    spec.variables = 2;
+    spec.frames = 40;
+    spec.height = 32;
+    spec.width = 32;
+    spec.seed = 3000 + static_cast<std::uint64_t>(s);
+    const Tensor field = data::GenerateClimate(spec);
+    auto codec = api::Compressor::Create("sz");
+    api::SessionOptions session_options;
+    session_options.bound = {api::ErrorBoundMode::kRelative, 0.01};
+    api::EncodeSession encode(codec.get(), field.dim(0), field.dim(2),
+                              field.dim(3), session_options);
+    encode.Push(field);
+    readers.push_back(
+        core::ArchiveReader::FromBytes(encode.Finish().Serialize()));
+    codecs.push_back(std::move(codec));
+  }
+  const std::int64_t frames = readers[0].dataset_shape()[1];
+
+  std::printf("== serve front end: %lld shards, sz codec ==\n",
+              (long long)num_shards);
+
+  // ---- sustained arm ------------------------------------------------------
+  double sustained_qps = 0.0, sustained_p50 = 0.0, sustained_p99 = 0.0;
+  std::int64_t sustained_ok = 0, sustained_failed = 0, sustained_retries = 0;
+  {
+    serve::FaultInjector injector;  // on shard 0; a taste of transient faults
+    injector.Arm(serve::FaultInjector::Kind::kTransient, /*count=*/8);
+    std::vector<serve::ShardSpec> specs;
+    for (std::size_t s = 0; s < readers.size(); ++s) {
+      serve::ShardSpec spec{&readers[s], codecs[s].get(), {}};
+      spec.schedule.cache_windows = 8;
+      if (s == 0) spec.schedule.fault_injector = &injector;
+      specs.push_back(spec);
+    }
+    serve::ManagerOptions options;
+    options.queue_capacity = 128;
+    options.worker_threads = 2;
+    // More retries than armed charges: even a request unlucky enough to draw
+    // every injected fault on consecutive attempts still completes, so the
+    // "sustained arm completes every request" invariant is structural.
+    options.max_retries = 10;
+    serve::ShardManager manager(specs, options);
+
+    std::vector<std::vector<double>> latencies(
+        static_cast<std::size_t>(clients));
+    std::atomic<std::int64_t> ok{0}, failed{0};
+    Timer timer;
+    std::vector<std::thread> threads;
+    for (std::int64_t c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        auto& mine = latencies[static_cast<std::size_t>(c)];
+        mine.reserve(static_cast<std::size_t>(requests_per_client));
+        for (std::int64_t r = 0; r < requests_per_client; ++r) {
+          serve::GetRequest request;
+          request.shard = static_cast<std::size_t>((c + r) % num_shards);
+          request.variable = r % 2;
+          request.t_begin = (r * 7) % (frames - 8);
+          request.t_end = std::min<std::int64_t>(frames,
+                                                 request.t_begin + 16);
+          request.tenant = "client-" + std::to_string(c);
+          const auto t0 = std::chrono::steady_clock::now();
+          try {
+            (void)manager.Get(request);
+            ok.fetch_add(1);
+          } catch (const StatusError&) {
+            failed.fetch_add(1);
+          }
+          const auto dt = std::chrono::steady_clock::now() - t0;
+          mine.push_back(
+              std::chrono::duration<double, std::milli>(dt).count());
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    const double elapsed = timer.Seconds();
+
+    std::vector<double> all;
+    for (auto& v : latencies) all.insert(all.end(), v.begin(), v.end());
+    sustained_ok = ok.load();
+    sustained_failed = failed.load();
+    sustained_qps = double(sustained_ok) / std::max(elapsed, 1e-9);
+    sustained_p50 = PercentileMs(&all, 0.50);
+    sustained_p99 = PercentileMs(&all, 0.99);
+    sustained_retries = manager.Stats().retries;
+    std::printf(
+        "sustained   %6.1f qps   p50 %7.3f ms   p99 %7.3f ms   "
+        "%lld ok / %lld failed, %lld retries (injected transients: %lld)\n",
+        sustained_qps, sustained_p50, sustained_p99,
+        (long long)sustained_ok, (long long)sustained_failed,
+        (long long)sustained_retries, (long long)injector.injected_transient());
+    if (sustained_failed != 0) {
+      std::fprintf(stderr,
+                   "error: sustained arm must complete every request "
+                   "(%lld failed)\n",
+                   (long long)sustained_failed);
+      return 1;
+    }
+  }
+
+  // ---- overload arm -------------------------------------------------------
+  double overload_qps = 0.0, overload_p50 = 0.0, overload_p99 = 0.0;
+  std::int64_t overload_ok = 0, overload_shed = 0, overload_timeouts = 0,
+               overload_other = 0;
+  std::size_t max_queue_depth = 0;
+  // Smaller than the storm size: synchronous clients hold one request each,
+  // so the queue can only ever fill when capacity < clients.
+  const std::size_t overload_capacity = 4;
+  {
+    serve::FaultInjector injector;  // every decode slowed on every shard
+    injector.Arm(serve::FaultInjector::Kind::kSlow, /*count=*/1 << 28,
+                 /*record=*/-1, slow_ms);
+    std::vector<serve::ShardSpec> specs;
+    for (std::size_t s = 0; s < readers.size(); ++s) {
+      serve::ShardSpec spec{&readers[s], codecs[s].get(), {}};
+      spec.schedule.cache_windows = 0;  // every request pays real decodes
+      spec.schedule.fault_injector = &injector;
+      specs.push_back(spec);
+    }
+    serve::ManagerOptions options;
+    options.queue_capacity = overload_capacity;
+    options.worker_threads = 1;
+    serve::ShardManager manager(specs, options);
+
+    std::vector<std::vector<double>> latencies(
+        static_cast<std::size_t>(overload_clients));
+    std::atomic<std::int64_t> ok{0}, shed{0}, timeouts{0}, other{0};
+    std::atomic<bool> done{false};
+    // Sample the queue gauge while the storm runs: bounded-memory evidence.
+    std::thread sampler([&] {
+      while (!done.load()) {
+        max_queue_depth = std::max(max_queue_depth,
+                                   manager.Stats().queue_depth);
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    });
+    Timer timer;
+    std::vector<std::thread> threads;
+    for (std::int64_t c = 0; c < overload_clients; ++c) {
+      threads.emplace_back([&, c] {
+        auto& mine = latencies[static_cast<std::size_t>(c)];
+        for (std::int64_t r = 0; r < overload_requests; ++r) {
+          serve::GetRequest request;
+          request.shard = static_cast<std::size_t>((c + r) % num_shards);
+          request.variable = r % 2;
+          request.t_begin = (r * 11) % (frames - 16);
+          request.t_end = request.t_begin + 16;
+          request.tenant = "storm-" + std::to_string(c);
+          request.deadline = Deadline::AfterMillis(deadline_ms);
+          const auto t0 = std::chrono::steady_clock::now();
+          try {
+            (void)manager.Get(request);
+            ok.fetch_add(1);
+            const auto dt = std::chrono::steady_clock::now() - t0;
+            mine.push_back(
+                std::chrono::duration<double, std::milli>(dt).count());
+          } catch (const StatusError& e) {
+            if (e.code() == ErrorCode::kQueueFull) {
+              shed.fetch_add(1);
+            } else if (e.code() == ErrorCode::kDeadlineExceeded) {
+              timeouts.fetch_add(1);
+            } else {
+              other.fetch_add(1);
+            }
+          }
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    const double elapsed = timer.Seconds();
+    done.store(true);
+    sampler.join();
+
+    std::vector<double> accepted;
+    for (auto& v : latencies) {
+      accepted.insert(accepted.end(), v.begin(), v.end());
+    }
+    overload_ok = ok.load();
+    overload_shed = shed.load();
+    overload_timeouts = timeouts.load();
+    overload_other = other.load();
+    overload_qps = double(overload_ok) / std::max(elapsed, 1e-9);
+    overload_p50 = PercentileMs(&accepted, 0.50);
+    overload_p99 = PercentileMs(&accepted, 0.99);
+    std::printf(
+        "overload    %6.1f qps   p50 %7.3f ms   p99 %7.3f ms   "
+        "%lld ok / %lld shed / %lld timed out / %lld other   "
+        "max queue depth %zu (cap %zu)\n",
+        overload_qps, overload_p50, overload_p99, (long long)overload_ok,
+        (long long)overload_shed, (long long)overload_timeouts,
+        (long long)overload_other, max_queue_depth, overload_capacity);
+    if (overload_shed == 0) {
+      std::fprintf(stderr,
+                   "error: overload arm shed nothing — not an overload\n");
+      return 1;
+    }
+    if (max_queue_depth > overload_capacity) {
+      std::fprintf(stderr, "error: queue grew past its bound (%zu > %zu)\n",
+                   max_queue_depth, overload_capacity);
+      return 1;
+    }
+    // Bounded p99 for ACCEPTED requests: a served request can wait in the
+    // bounded queue and decode behind slow records, but the deadline caps it;
+    // anything far beyond deadline + one slowed multi-record decode means a
+    // request was neither served, shed, nor timed out in bounded time.
+    const double p99_bound_ms = double(deadline_ms) + 64.0 * double(slow_ms);
+    if (overload_p99 > p99_bound_ms) {
+      std::fprintf(stderr,
+                   "error: overload p99 %.3f ms exceeds bound %.3f ms\n",
+                   overload_p99, p99_bound_ms);
+      return 1;
+    }
+  }
+
+  if (!json_path.empty()) {
+    std::FILE* out = std::fopen(json_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "error: cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(out,
+                 "{\n"
+                 "  \"bench\": \"serve\",\n"
+                 "  \"shards\": %lld,\n"
+                 "  \"sustained_qps\": %.6g,\n"
+                 "  \"sustained_p50_ms\": %.6g,\n"
+                 "  \"sustained_p99_ms\": %.6g,\n"
+                 "  \"sustained_ok\": %lld,\n"
+                 "  \"sustained_failed\": %lld,\n"
+                 "  \"sustained_retries\": %lld,\n"
+                 "  \"overload_qps\": %.6g,\n"
+                 "  \"overload_p50_ms\": %.6g,\n"
+                 "  \"overload_p99_ms\": %.6g,\n"
+                 "  \"overload_ok\": %lld,\n"
+                 "  \"overload_shed\": %lld,\n"
+                 "  \"overload_timeouts\": %lld,\n"
+                 "  \"overload_other_errors\": %lld,\n"
+                 "  \"overload_max_queue_depth\": %zu,\n"
+                 "  \"overload_queue_capacity\": %zu\n"
+                 "}\n",
+                 (long long)num_shards, sustained_qps, sustained_p50,
+                 sustained_p99, (long long)sustained_ok,
+                 (long long)sustained_failed, (long long)sustained_retries,
+                 overload_qps, overload_p50, overload_p99,
+                 (long long)overload_ok, (long long)overload_shed,
+                 (long long)overload_timeouts, (long long)overload_other,
+                 max_queue_depth, overload_capacity);
+    std::fclose(out);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

@@ -35,7 +35,8 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$JOBS" "$@"
 # under BOTH dispatch registrations (a stale build tree or a renamed file
 # would otherwise drop them silently).
 echo "== serve + workspace tests registered (native + _scalar) =="
-for t in serve_test serve_test_scalar workspace_test workspace_test_scalar; do
+for t in serve_test serve_test_scalar workspace_test workspace_test_scalar \
+         shard_manager_test shard_manager_test_scalar; do
   # grep reads to EOF (no -q): under `pipefail`, an early-exiting grep can
   # SIGPIPE ctest and turn a present registration into a spurious failure.
   if ! ctest --test-dir "$BUILD_DIR" -N -R "^${t}\$" | grep "${t}\$" > /dev/null; then
@@ -54,8 +55,27 @@ echo "== bench JSON gate =="
     --json="$BUILD_DIR/BENCH_random_access.json"
 "$BUILD_DIR/bench_e2e_decode" --codec=sz --frames=48 --variables=1 \
     --json="$BUILD_DIR/BENCH_e2e.json"
+"$BUILD_DIR/bench_serve" --json="$BUILD_DIR/BENCH_serve.json"
 if [[ ! -s "$BUILD_DIR/BENCH_e2e.json" ]]; then
   echo "error: BENCH_e2e.json missing or empty" >&2
+  exit 1
+fi
+if [[ ! -s "$BUILD_DIR/BENCH_serve.json" ]]; then
+  echo "error: BENCH_serve.json missing or empty" >&2
+  exit 1
+fi
+# The serving front end must prove graceful degradation, not just run: the
+# overload arm has to have shed load through the bounded queue.
+for field in sustained_qps sustained_p50_ms sustained_p99_ms overload_qps \
+             overload_p99_ms overload_shed overload_timeouts \
+             sustained_retries; do
+  if ! grep -q "\"$field\"" "$BUILD_DIR/BENCH_serve.json"; then
+    echo "error: BENCH_serve.json missing field: $field" >&2
+    exit 1
+  fi
+done
+if grep -q '"overload_shed": 0,' "$BUILD_DIR/BENCH_serve.json"; then
+  echo "error: overload arm shed nothing — not an overload" >&2
   exit 1
 fi
 # The batched-fetch comparison must actually be in the emitted JSON — a stale
@@ -71,7 +91,8 @@ bad=0
 # Gate ONLY the two files the commands above emitted. A BENCH_*.json glob over
 # the repo root (or the whole build dir) would also pick up artifacts from
 # earlier manual bench runs and fail this gate on files this run never wrote.
-for f in "$BUILD_DIR/BENCH_random_access.json" "$BUILD_DIR/BENCH_e2e.json"; do
+for f in "$BUILD_DIR/BENCH_random_access.json" "$BUILD_DIR/BENCH_e2e.json" \
+         "$BUILD_DIR/BENCH_serve.json"; do
   [[ -f "$f" ]] || continue
   if grep -nE '(^|[^A-Za-z_])-?(inf|nan)([^A-Za-z_]|$)' "$f"; then
     echo "error: non-finite value in $f" >&2
@@ -80,6 +101,20 @@ for f in "$BUILD_DIR/BENCH_random_access.json" "$BUILD_DIR/BENCH_e2e.json"; do
 done
 if [[ $bad -ne 0 ]]; then
   exit 1
+fi
+
+# Opt-in sanitizer lane: CHECK_SANITIZE=address,undefined (any -fsanitize=
+# list) builds a separate instrumented tree and runs the concurrency-heavy
+# serving suites under it. Off by default — the instrumented build roughly
+# doubles gate time — but cheap to request when touching serve/ or util/.
+if [[ -n "${CHECK_SANITIZE:-}" ]]; then
+  SAN_DIR="${BUILD_DIR}-sanitize"
+  echo "== sanitizer lane (-fsanitize=$CHECK_SANITIZE) =="
+  cmake -B "$SAN_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DGLSC_SANITIZE="$CHECK_SANITIZE"
+  cmake --build "$SAN_DIR" -j"$JOBS" --target shard_manager_test serve_test
+  ctest --test-dir "$SAN_DIR" --output-on-failure -j"$JOBS" \
+      -R '^(shard_manager_test|serve_test)(_scalar)?$'
 fi
 
 echo "== OK =="

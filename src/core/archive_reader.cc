@@ -7,6 +7,19 @@
 
 #include "util/check.h"
 
+// Typed variant of GLSC_CHECK_MSG for archive validation: a failed condition
+// means hostile or damaged bytes, so it throws core::ArchiveError with the
+// given fault instead of a bare runtime_error — the serving layers classify
+// the failure (kDataLoss vs retryable kIo) from the type.
+#define GLSC_ARCHIVE_CHECK(cond, fault, msg)                            \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      std::ostringstream glsc_os_;                                      \
+      glsc_os_ << msg;                                                  \
+      throw ::glsc::core::ArchiveError((fault), glsc_os_.str());        \
+    }                                                                   \
+  } while (0)
+
 namespace glsc::core {
 
 // Positioned reads over the archive bytes. ReadAt validates the range against
@@ -26,10 +39,11 @@ class ArchiveReader::Source {
 
  protected:
   void CheckRange(std::uint64_t offset, std::uint64_t length) const {
-    GLSC_CHECK_MSG(offset <= size() && length <= size() - offset,
-                   "archive read [" << offset << ", +" << length
-                                    << ") out of range of " << size()
-                                    << " bytes");
+    GLSC_ARCHIVE_CHECK(offset <= size() && length <= size() - offset,
+                       ArchiveFault::kTruncated,
+                       "archive read [" << offset << ", +" << length
+                                        << ") out of range of " << size()
+                                        << " bytes");
   }
 };
 
@@ -58,7 +72,8 @@ class FileSource final : public ArchiveReader::Source {
  public:
   explicit FileSource(const std::string& path)
       : stream_(path, std::ios::binary) {
-    GLSC_CHECK_MSG(stream_.good(), "cannot open archive " << path);
+    GLSC_ARCHIVE_CHECK(stream_.good(), ArchiveFault::kIo,
+                       "cannot open archive " << path);
     stream_.seekg(0, std::ios::end);
     size_ = static_cast<std::uint64_t>(stream_.tellg());
   }
@@ -73,8 +88,8 @@ class FileSource final : public ArchiveReader::Source {
     stream_.seekg(static_cast<std::streamoff>(offset));
     stream_.read(reinterpret_cast<char*>(dst),
                  static_cast<std::streamsize>(length));
-    GLSC_CHECK_MSG(static_cast<std::uint64_t>(stream_.gcount()) == length,
-                   "short read from archive");
+    GLSC_ARCHIVE_CHECK(static_cast<std::uint64_t>(stream_.gcount()) == length,
+                       ArchiveFault::kIo, "short read from archive");
   }
 
  private:
@@ -89,6 +104,8 @@ ArchiveReader::ArchiveReader()
     : fetched_(std::make_unique<std::atomic<std::uint64_t>>(0)) {}
 
 ArchiveReader::~ArchiveReader() = default;
+ArchiveReader::ArchiveReader(ArchiveReader&&) noexcept = default;
+ArchiveReader& ArchiveReader::operator=(ArchiveReader&&) noexcept = default;
 
 ArchiveReader ArchiveReader::FromFile(const std::string& path) {
   ArchiveReader reader;
@@ -123,6 +140,19 @@ ArchiveReader ArchiveReader::FromArchive(const DatasetArchive& archive) {
 }
 
 void ArchiveReader::ParseSource() {
+  // ByteReader underruns below throw untyped runtime_errors; re-brand them as
+  // truncation so every hostile-archive failure leaving this function is a
+  // typed ArchiveError the serving layers can classify.
+  try {
+    ParseSourceImpl();
+  } catch (const ArchiveError&) {
+    throw;
+  } catch (const std::exception& e) {
+    throw ArchiveError(ArchiveFault::kTruncated, e.what());
+  }
+}
+
+void ArchiveReader::ParseSourceImpl() {
   const std::uint64_t size = source_->size();
 
   // Fixed-layout header prefix: magic, version, codec id (name <= 64 bytes),
@@ -132,14 +162,17 @@ void ArchiveReader::ParseSource() {
   ByteReader in(prefix);
   char magic[4];
   in.GetBytes(magic, 4);
-  GLSC_CHECK_MSG(std::equal(magic, magic + 4, kArchiveMagic),
-                 "not a GLSC archive");
+  GLSC_ARCHIVE_CHECK(std::equal(magic, magic + 4, kArchiveMagic),
+                     ArchiveFault::kNotAnArchive, "not a GLSC archive");
   const std::uint8_t version = in.GetU8();
-  GLSC_CHECK_MSG(version >= 1 && version <= 3,
-                 "unsupported archive version " << static_cast<int>(version));
+  GLSC_ARCHIVE_CHECK(version >= 1 && version <= 3,
+                     ArchiveFault::kNotAnArchive,
+                     "unsupported archive version "
+                         << static_cast<int>(version));
   if (version >= 2) {
     const std::uint64_t codec_len = in.GetVarU64();
-    GLSC_CHECK_MSG(codec_len <= 64, "corrupt archive: codec name length");
+    GLSC_ARCHIVE_CHECK(codec_len <= 64, ArchiveFault::kCorruptRecord,
+                       "corrupt archive: codec name length");
     codec_.resize(static_cast<std::size_t>(codec_len));
     in.GetBytes(codec_.data(), codec_len);
   }
@@ -148,20 +181,22 @@ void ArchiveReader::ParseSource() {
     const std::uint64_t raw = in.GetU64();
     // Same per-dimension cap as DatasetArchive::Deserialize: keeps V*T and
     // V*T*H*W products overflow-free below.
-    GLSC_CHECK_MSG(raw <= (1ull << 31),
-                   "corrupt archive: dataset dimension " << raw);
+    GLSC_ARCHIVE_CHECK(raw <= (1ull << 31), ArchiveFault::kCorruptRecord,
+                       "corrupt archive: dataset dimension " << raw);
     d = static_cast<std::int64_t>(raw);
   }
   window_ = static_cast<std::int64_t>(in.GetU64());
-  GLSC_CHECK_MSG(window_ > 0, "corrupt archive: non-positive window");
+  GLSC_ARCHIVE_CHECK(window_ > 0, ArchiveFault::kCorruptRecord,
+                     "corrupt archive: non-positive window");
 
   const std::uint64_t norms_offset = in.pos();
   const std::uint64_t norm_count = static_cast<std::uint64_t>(shape_[0]) *
                                    static_cast<std::uint64_t>(shape_[1]);
-  GLSC_CHECK_MSG(norm_count <= (size - norms_offset) / (2 * sizeof(float)),
-                 "corrupt archive: " << norm_count << " frame norms in "
-                                     << size - norms_offset
-                                     << " remaining bytes");
+  GLSC_ARCHIVE_CHECK(
+      norm_count <= (size - norms_offset) / (2 * sizeof(float)),
+      ArchiveFault::kTruncated,
+      "corrupt archive: " << norm_count << " frame norms in "
+                          << size - norms_offset << " remaining bytes");
   const std::vector<std::uint8_t> norm_bytes =
       source_->Read(norms_offset, norm_count * 2 * sizeof(float));
   ByteReader norms_in(norm_bytes);
@@ -176,18 +211,21 @@ void ArchiveReader::ParseSource() {
   if (version == 3) {
     // Random access: footer -> index block -> done. The record area is never
     // read here; payloads are fetched lazily by ReadPayload.
-    GLSC_CHECK_MSG(size >= records_start + kFooterBytes,
-                   "truncated archive: missing footer");
+    GLSC_ARCHIVE_CHECK(size >= records_start + kFooterBytes,
+                       ArchiveFault::kTruncated,
+                       "truncated archive: missing footer");
     const std::vector<std::uint8_t> footer =
         source_->Read(size - kFooterBytes, kFooterBytes);
     ByteReader footer_in(footer);
     const std::uint64_t index_offset = footer_in.GetU64();
     char index_magic[4];
     footer_in.GetBytes(index_magic, 4);
-    GLSC_CHECK_MSG(std::equal(index_magic, index_magic + 4, kIndexMagic),
-                   "truncated archive: bad index magic");
-    GLSC_CHECK_MSG(
+    GLSC_ARCHIVE_CHECK(std::equal(index_magic, index_magic + 4, kIndexMagic),
+                       ArchiveFault::kCorruptIndex,
+                       "truncated archive: bad index magic");
+    GLSC_ARCHIVE_CHECK(
         index_offset >= records_start && index_offset <= size - kFooterBytes,
+        ArchiveFault::kCorruptIndex,
         "corrupt archive: index offset " << index_offset);
 
     const std::vector<std::uint8_t> index_bytes =
@@ -196,10 +234,11 @@ void ArchiveReader::ParseSource() {
     const std::uint64_t count = index_in.GetVarU64();
     // Every index entry costs at least 5 varint bytes, so a hostile count
     // can claim at most remaining/5 entries — checked before the reserve.
-    GLSC_CHECK_MSG(count <= index_in.remaining() / 5,
-                   "corrupt archive index: " << count << " entries in "
-                                             << index_in.remaining()
-                                             << " bytes");
+    GLSC_ARCHIVE_CHECK(count <= index_in.remaining() / 5,
+                       ArchiveFault::kCorruptIndex,
+                       "corrupt archive index: " << count << " entries in "
+                                                 << index_in.remaining()
+                                                 << " bytes");
     records_.reserve(static_cast<std::size_t>(count));
     for (std::uint64_t i = 0; i < count; ++i) {
       RecordRef ref;
@@ -208,33 +247,36 @@ void ArchiveReader::ParseSource() {
       ref.valid_frames = static_cast<std::int64_t>(index_in.GetVarU64());
       ref.offset = index_in.GetVarU64();
       ref.length = index_in.GetVarU64();
-      GLSC_CHECK_MSG(ref.variable >= 0 && ref.variable < shape_[0] &&
-                         ref.t0 >= 0 && ref.t0 < shape_[1],
-                     "corrupt archive index: record outside dataset bounds");
-      GLSC_CHECK_MSG(ref.valid_frames > 0 && ref.valid_frames <= window_,
-                     "corrupt archive index: valid_frames "
-                         << ref.valid_frames);
-      GLSC_CHECK_MSG(ref.offset >= records_start &&
-                         ref.length <= index_offset - records_start &&
-                         ref.offset <= index_offset - ref.length,
-                     "corrupt archive index: payload span [" << ref.offset
-                                                             << ", +"
-                                                             << ref.length
-                                                             << ")");
+      GLSC_ARCHIVE_CHECK(
+          ref.variable >= 0 && ref.variable < shape_[0] && ref.t0 >= 0 &&
+              ref.t0 < shape_[1],
+          ArchiveFault::kCorruptIndex,
+          "corrupt archive index: record outside dataset bounds");
+      GLSC_ARCHIVE_CHECK(ref.valid_frames > 0 && ref.valid_frames <= window_,
+                         ArchiveFault::kCorruptIndex,
+                         "corrupt archive index: valid_frames "
+                             << ref.valid_frames);
+      GLSC_ARCHIVE_CHECK(ref.offset >= records_start &&
+                             ref.length <= index_offset - records_start &&
+                             ref.offset <= index_offset - ref.length,
+                         ArchiveFault::kCorruptIndex,
+                         "corrupt archive index: payload span ["
+                             << ref.offset << ", +" << ref.length << ")");
       records_.push_back(ref);
     }
-    GLSC_CHECK_MSG(index_in.AtEnd(),
-                   "corrupt archive index: trailing bytes");
+    GLSC_ARCHIVE_CHECK(index_in.AtEnd(), ArchiveFault::kCorruptIndex,
+                       "corrupt archive index: trailing bytes");
   } else {
     // v1/v2: no index on disk — scan the record area once to build one.
     const std::vector<std::uint8_t> tail =
         source_->Read(records_start, size - records_start);
     ByteReader tail_in(tail);
     const std::uint64_t count = tail_in.GetVarU64();
-    GLSC_CHECK_MSG(count <= tail_in.remaining(),
-                   "corrupt archive: " << count << " records in "
-                                       << tail_in.remaining()
-                                       << " remaining bytes");
+    GLSC_ARCHIVE_CHECK(count <= tail_in.remaining(),
+                       ArchiveFault::kCorruptRecord,
+                       "corrupt archive: " << count << " records in "
+                                           << tail_in.remaining()
+                                           << " remaining bytes");
     records_.reserve(static_cast<std::size_t>(count));
     for (std::uint64_t i = 0; i < count; ++i) {
       RecordRef ref;
@@ -243,8 +285,9 @@ void ArchiveReader::ParseSource() {
       if (version == 2) {
         ref.valid_frames = static_cast<std::int64_t>(tail_in.GetVarU64());
         ref.length = tail_in.GetVarU64();
-        GLSC_CHECK_MSG(ref.length <= tail_in.remaining(),
-                       "corrupt record: payload length " << ref.length);
+        GLSC_ARCHIVE_CHECK(ref.length <= tail_in.remaining(),
+                           ArchiveFault::kCorruptRecord,
+                           "corrupt record: payload length " << ref.length);
         ref.offset = records_start + tail_in.pos();
         tail_in.Skip(static_cast<std::size_t>(ref.length));
       } else {
@@ -257,12 +300,14 @@ void ArchiveReader::ParseSource() {
         ref.offset = records_start + body_start;
         ref.length = tail_in.pos() - body_start;
       }
-      GLSC_CHECK_MSG(ref.variable >= 0 && ref.variable < shape_[0] &&
-                         ref.t0 >= 0 && ref.t0 < shape_[1],
-                     "corrupt archive: record outside dataset bounds");
-      GLSC_CHECK_MSG(ref.valid_frames > 0 && ref.valid_frames <= window_,
-                     "corrupt archive: record valid_frames "
-                         << ref.valid_frames);
+      GLSC_ARCHIVE_CHECK(ref.variable >= 0 && ref.variable < shape_[0] &&
+                             ref.t0 >= 0 && ref.t0 < shape_[1],
+                         ArchiveFault::kCorruptRecord,
+                         "corrupt archive: record outside dataset bounds");
+      GLSC_ARCHIVE_CHECK(ref.valid_frames > 0 && ref.valid_frames <= window_,
+                         ArchiveFault::kCorruptRecord,
+                         "corrupt archive: record valid_frames "
+                             << ref.valid_frames);
       records_.push_back(ref);
     }
   }

@@ -29,8 +29,38 @@
 #include <vector>
 
 #include "core/container.h"
+#include "util/status.h"
 
 namespace glsc::core {
+
+// What exactly went wrong with the archive bytes. Serving layers mostly care
+// about the StatusError code this maps to (kDataLoss = quarantine-worthy,
+// kUnavailable = retryable IO), but tests and logs want the precise fault.
+enum class ArchiveFault : std::uint8_t {
+  kNotAnArchive = 0,   // bad magic / unsupported version
+  kTruncated = 1,      // stream ends before a declared structure
+  kCorruptIndex = 2,   // footer/index fails validation
+  kCorruptRecord = 3,  // record metadata lies about the stream
+  kIo = 4,             // backing read failed (possibly transient)
+};
+
+// Typed failure for hostile or damaged archives. Derives StatusError (and
+// therefore std::runtime_error), so existing catch sites keep working while
+// the shard manager can classify: every fault is kDataLoss except kIo, which
+// maps to kUnavailable and is eligible for retry.
+class ArchiveError : public StatusError {
+ public:
+  ArchiveError(ArchiveFault fault, const std::string& message)
+      : StatusError(fault == ArchiveFault::kIo ? ErrorCode::kUnavailable
+                                               : ErrorCode::kDataLoss,
+                    message),
+        fault_(fault) {}
+
+  ArchiveFault fault() const { return fault_; }
+
+ private:
+  ArchiveFault fault_;
+};
 
 // One record's metadata plus the byte span of its payload inside the archive.
 struct RecordRef {
@@ -52,8 +82,11 @@ class ArchiveReader {
   // archive must outlive the reader.
   static ArchiveReader FromArchive(const DatasetArchive& archive);
 
-  ArchiveReader(ArchiveReader&&) = default;
-  ArchiveReader& operator=(ArchiveReader&&) = default;
+  // Move operations are defined out of line (with the destructor): Source is
+  // incomplete here, and defaulting them in-class would force callers that
+  // aggregate readers (vectors of shards) to instantiate its deleter.
+  ArchiveReader(ArchiveReader&&) noexcept;
+  ArchiveReader& operator=(ArchiveReader&&) noexcept;
   ArchiveReader(const ArchiveReader&) = delete;
   ArchiveReader& operator=(const ArchiveReader&) = delete;
   ~ArchiveReader();
@@ -89,7 +122,8 @@ class ArchiveReader {
 
  private:
   ArchiveReader();
-  void ParseSource();
+  void ParseSource();      // typed-error wrapper around ParseSourceImpl
+  void ParseSourceImpl();
   void BuildVariableIndex();
 
   std::string codec_ = "glsc";

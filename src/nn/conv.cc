@@ -73,7 +73,7 @@ void Conv2d::ForwardInto(const Tensor& x, Tensor* y) {
     GemmEx(false, false, out_c_, col_cols, col_rows, 1.0f,
            weight_.value.data(), col_rows, columns, col_cols, 0.0f,
            y->data() + b * out_c_ * col_cols, col_cols, bias_.value.data(),
-           GemmEpilogue::kBiasRow);
+           GemmEpilogue::kBiasRow, &gemm_scratch_);
   }
 }
 

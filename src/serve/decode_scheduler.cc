@@ -30,8 +30,21 @@ DecodeScheduler::DecodeScheduler(const core::ArchiveReader* reader,
   }
 }
 
+Tensor DecodeScheduler::DecodeRecord(std::size_t record, std::size_t worker,
+                                     tensor::Workspace* ws) {
+  if (options_.fault_injector != nullptr) {
+    options_.fault_injector->OnDecode(record);
+  }
+  const std::vector<std::uint8_t>* view = reader_->PayloadView(record);
+  return view != nullptr
+             ? workers_[worker]->DecompressWindow(*view, ws)
+             : workers_[worker]->DecompressWindow(reader_->ReadPayload(record),
+                                                  ws);
+}
+
 std::vector<Tensor> DecodeScheduler::Fetch(
-    const std::vector<std::size_t>& indices) {
+    const std::vector<std::size_t>& indices, const RequestContext* ctx) {
+  if (ctx != nullptr) ctx->Check();
   std::vector<Tensor> out(indices.size());
   std::vector<std::size_t> owned;  // positions in `indices` this call decodes
   std::vector<std::shared_ptr<Flight>> owned_flights;  // parallel to `owned`
@@ -71,17 +84,25 @@ std::vector<Tensor> DecodeScheduler::Fetch(
   };
 
   if (!owned.empty()) {
+    // Per-owned-position outcome, written under mu_ inside the fan-out:
+    //   0 = untouched (chunk skipped — deadline/cancel before it ran)
+    //   1 = published success   2 = published failure (errors[j] set)
+    std::vector<char> state(owned.size(), 0);
+    std::vector<std::exception_ptr> errors(owned.size());
+
     // Publishes one decoded chunk: results land in `out`, the cache, and the
     // records' Flight slots in one critical section. Publication happens per
     // chunk INSIDE the decode loop — not after the whole fan-out drains — so
     // waiters unblock as soon as the batch holding their record finishes.
-    const auto publish = [&](const std::size_t* positions, Tensor* recons,
-                             std::size_t n) {
+    const auto publish = [&](const std::size_t* positions_in_owned,
+                             Tensor* recons, std::size_t n) {
       std::lock_guard<std::mutex> lock(mu_);
       for (std::size_t j = 0; j < n; ++j) {
-        const std::size_t position = positions[j];
+        const std::size_t oj = positions_in_owned[j];
+        const std::size_t position = owned[oj];
         const std::size_t record = indices[position];
         out[position] = std::move(recons[j]);
+        state[oj] = 1;
         const auto fit = inflight_.find(record);
         if (fit != inflight_.end()) {
           fit->second->done = true;
@@ -95,6 +116,25 @@ std::vector<Tensor> DecodeScheduler::Fetch(
       cv_.notify_all();
     };
 
+    // Publishes one record's decode FAILURE: the flight carries the typed
+    // error so every waiter rethrows the same exception, and the in-flight
+    // entry is dropped so later queries may retry the record fresh. Only the
+    // queries needing this record see the failure.
+    const auto publish_failure = [&](std::size_t oj, std::exception_ptr err) {
+      std::lock_guard<std::mutex> lock(mu_);
+      errors[oj] = err;
+      state[oj] = 2;
+      const std::shared_ptr<Flight>& flight = owned_flights[oj];
+      flight->aborted = true;
+      flight->error = err;
+      const auto fit = inflight_.find(indices[owned[oj]]);
+      if (fit != inflight_.end() && fit->second == flight) {
+        inflight_.erase(fit);
+      }
+      failures_.fetch_add(1, std::memory_order_relaxed);
+      cv_.notify_all();
+    };
+
     // Contiguous chunks of at most max_batch owned records; worker k decodes
     // chunks k, k+W, ... so within one query each model instance is touched
     // by exactly one thread.
@@ -105,7 +145,17 @@ std::vector<Tensor> DecodeScheduler::Fetch(
       chunks.emplace_back(begin, std::min(owned.size(), begin + max_batch));
     }
 
+    // Decodes chunk c on worker slot `worker`. Every failure mode —
+    // injected fault, corrupt payload throwing from the codec, geometry
+    // mismatch — is captured PER RECORD and published as that record's typed
+    // error; nothing escapes this function except a deliberate rethrow after
+    // the fan-out drains, so one bad record can never tear down the decode of
+    // its chunk-mates or of concurrent queries.
     const auto decode_chunk = [&](std::size_t c, std::size_t worker) {
+      // Cooperative deadline/cancel check between chunks: skip the chunk
+      // entirely (state stays 0) and let the post-fan-out pass abort the
+      // flights so waiters re-decode for themselves.
+      if (ShouldAbort(ctx)) return;
       const std::size_t begin = chunks[c].first;
       const std::size_t n = chunks[c].second - begin;
       // Per-worker lock: concurrent Get() calls fan out over the same worker
@@ -114,45 +164,92 @@ std::vector<Tensor> DecodeScheduler::Fetch(
       // deadlock.
       std::lock_guard<std::mutex> lock(*worker_mu_[worker]);
       tensor::Workspace* ws = workspaces_[worker].get();
-      std::vector<Tensor> recons;
+
       if (options_.max_batch <= 1 || n == 1) {
         // Per-record dispatch: max_batch <= 1 (legacy behavior, the "serial"
         // arm of bench_e2e_decode) and single-record tails take the exact
         // code path this scheduler always had.
-        recons.reserve(n);
         for (std::size_t j = begin; j < begin + n; ++j) {
-          const std::size_t record = indices[owned[j]];
-          const std::vector<std::uint8_t>* view = reader_->PayloadView(record);
-          recons.push_back(view != nullptr
-                               ? workers_[worker]->DecompressWindow(*view, ws)
-                               : workers_[worker]->DecompressWindow(
-                                     reader_->ReadPayload(record), ws));
+          try {
+            Tensor recon = DecodeRecord(indices[owned[j]], worker, ws);
+            check_geometry(recon, indices[owned[j]]);
+            publish(&j, &recon, 1);
+          } catch (...) {
+            publish_failure(j, std::current_exception());
+          }
         }
-      } else {
-        // Batched dispatch: ONE DecompressWindows call for the whole chunk.
-        // Payloads the reader cannot expose as views are read into
-        // owned_bytes, which is reserved up front because `payloads` keeps
-        // pointers into it.
-        std::vector<std::vector<std::uint8_t>> owned_bytes;
-        owned_bytes.reserve(n);
-        std::vector<const std::vector<std::uint8_t>*> payloads;
-        payloads.reserve(n);
-        for (std::size_t j = begin; j < begin + n; ++j) {
-          const std::size_t record = indices[owned[j]];
+        return;
+      }
+
+      // Batched dispatch: ONE DecompressWindows call for the whole chunk.
+      // The injector hook and payload fetch run per record first; records
+      // failing there are published as failures and excluded from the batch.
+      // Payloads the reader cannot expose as views are read into owned_bytes,
+      // which is reserved up front because `payloads` keeps pointers into it.
+      std::vector<std::size_t> live;  // owned[] positions still in the batch
+      std::vector<std::vector<std::uint8_t>> owned_bytes;
+      owned_bytes.reserve(n);
+      std::vector<const std::vector<std::uint8_t>*> payloads;
+      payloads.reserve(n);
+      live.reserve(n);
+      for (std::size_t j = begin; j < begin + n; ++j) {
+        const std::size_t record = indices[owned[j]];
+        try {
+          if (options_.fault_injector != nullptr) {
+            options_.fault_injector->OnDecode(record);
+          }
           const std::vector<std::uint8_t>* view = reader_->PayloadView(record);
           if (view == nullptr) {
             owned_bytes.push_back(reader_->ReadPayload(record));
             view = &owned_bytes.back();
           }
           payloads.push_back(view);
+          live.push_back(j);
+        } catch (...) {
+          publish_failure(j, std::current_exception());
         }
+      }
+      if (live.empty()) return;
+
+      std::vector<Tensor> recons;
+      bool batch_ok = true;
+      try {
         recons = workers_[worker]->DecompressWindows(payloads, ws);
-        GLSC_CHECK(recons.size() == n);
+        GLSC_CHECK(recons.size() == live.size());
+      } catch (...) {
+        batch_ok = false;
       }
-      for (std::size_t j = 0; j < n; ++j) {
-        check_geometry(recons[j], indices[owned[begin + j]]);
+      if (!batch_ok) {
+        // The batched call cannot say WHICH payload sank it. Re-decode the
+        // batch per record (injector already consumed its charges above, so
+        // this pass sees the codec's real behavior) to attribute the failure
+        // to exactly the bad record(s) and save the good ones.
+        for (const std::size_t j : live) {
+          const std::size_t record = indices[owned[j]];
+          try {
+            const std::vector<std::uint8_t>* view =
+                reader_->PayloadView(record);
+            Tensor recon =
+                view != nullptr
+                    ? workers_[worker]->DecompressWindow(*view, ws)
+                    : workers_[worker]->DecompressWindow(
+                          reader_->ReadPayload(record), ws);
+            check_geometry(recon, record);
+            publish(&j, &recon, 1);
+          } catch (...) {
+            publish_failure(j, std::current_exception());
+          }
+        }
+        return;
       }
-      publish(owned.data() + begin, recons.data(), n);
+      for (std::size_t k = 0; k < live.size(); ++k) {
+        try {
+          check_geometry(recons[k], indices[owned[live[k]]]);
+          publish(&live[k], &recons[k], 1);
+        } catch (...) {
+          publish_failure(live[k], std::current_exception());
+        }
+      }
     };
 
     const std::size_t fan_out = std::min(workers_.size(), chunks.size());
@@ -162,7 +259,8 @@ std::vector<Tensor> DecodeScheduler::Fetch(
       } else {
         // Runs inline when already on a pool worker (ThreadPool::ParallelFor
         // detects re-entry), so serving layers stacked above may themselves
-        // fan out.
+        // fan out. ParallelFor drains every helper before returning or
+        // throwing, so `chunks`/`out`/`state` never outlive a running body.
         GlobalThreadPool().ParallelFor(fan_out, [&](std::size_t k) {
           for (std::size_t c = k; c < chunks.size(); c += fan_out) {
             decode_chunk(c, k);
@@ -170,15 +268,17 @@ std::vector<Tensor> DecodeScheduler::Fetch(
         });
       }
     } catch (...) {
-      // Abort every owned flight that was never published so waiters on other
-      // threads re-decode for themselves instead of blocking forever. The
-      // pointer comparison guards against erasing a successor flight: once a
-      // record is published and then evicted, a new query may have opened a
-      // fresh flight for it under the same key.
+      // Backstop for failures outside the per-record capture (bad_alloc in
+      // the fan-out plumbing): abort every owned flight that was never
+      // published so waiters on other threads re-decode for themselves
+      // instead of blocking forever. The pointer comparison guards against
+      // erasing a successor flight: once a record is published and then
+      // evicted, a new query may have opened a fresh flight for it under the
+      // same key.
       std::lock_guard<std::mutex> lock(mu_);
       for (std::size_t j = 0; j < owned.size(); ++j) {
         const std::shared_ptr<Flight>& flight = owned_flights[j];
-        if (flight->done) continue;
+        if (flight->done || flight->aborted) continue;
         flight->aborted = true;
         const auto fit = inflight_.find(indices[owned[j]]);
         if (fit != inflight_.end() && fit->second == flight) {
@@ -187,6 +287,33 @@ std::vector<Tensor> DecodeScheduler::Fetch(
       }
       cv_.notify_all();
       throw;
+    }
+
+    // Chunks skipped by the deadline/cancel check left their flights open:
+    // abort them (no error — the records are fine, this REQUEST ran out of
+    // time) so waiters decode for themselves, then fail this call typed.
+    bool skipped = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (std::size_t j = 0; j < owned.size(); ++j) {
+        if (state[j] != 0) continue;
+        skipped = true;
+        const std::shared_ptr<Flight>& flight = owned_flights[j];
+        flight->aborted = true;
+        const auto fit = inflight_.find(indices[owned[j]]);
+        if (fit != inflight_.end() && fit->second == flight) {
+          inflight_.erase(fit);
+        }
+      }
+      if (skipped) cv_.notify_all();
+    }
+    if (skipped && ctx != nullptr) ctx->Check();
+
+    // This query needs every record it owns: the first failure fails the
+    // call (typed). Other queries running concurrently over healthy records
+    // were published normally above and never see this throw.
+    for (std::size_t j = 0; j < owned.size(); ++j) {
+      if (state[j] == 2) std::rethrow_exception(errors[j]);
     }
   }
 
@@ -206,19 +333,23 @@ std::vector<Tensor> DecodeScheduler::Fetch(
         hits_.fetch_add(1, std::memory_order_relaxed);
         continue;
       }
-      // The owner failed before publishing; decode the record ourselves.
+      if (flight->error != nullptr) {
+        // The owner's decode of this record failed; the record would fail
+        // for us identically (decode is deterministic), so propagate the
+        // owner's typed error. Retry policy lives in the shard manager.
+        std::rethrow_exception(flight->error);
+      }
+      // The owner stopped before decoding (deadline/cancel/backstop); decode
+      // the record ourselves — unless this request is itself out of time.
       // mu_ must be dropped before taking a worker lock (decoders take
       // worker_mu_ then mu_ to publish — the reverse order would deadlock).
       lock.unlock();
+      if (ctx != nullptr) ctx->Check();
       const std::size_t record = indices[position];
       Tensor recon;
       {
         std::lock_guard<std::mutex> wlock(*worker_mu_[0]);
-        const std::vector<std::uint8_t>* view = reader_->PayloadView(record);
-        recon = view != nullptr
-                    ? workers_[0]->DecompressWindow(*view, workspaces_[0].get())
-                    : workers_[0]->DecompressWindow(
-                          reader_->ReadPayload(record), workspaces_[0].get());
+        recon = DecodeRecord(record, 0, workspaces_[0].get());
       }
       check_geometry(recon, record);
       decoded_.fetch_add(1, std::memory_order_relaxed);
@@ -245,11 +376,11 @@ void DecodeScheduler::Insert(std::size_t record, const Tensor& decoded) {
 }
 
 Tensor DecodeScheduler::Get(std::int64_t variable, std::int64_t t_begin,
-                            std::int64_t t_end) {
+                            std::int64_t t_end, const RequestContext* ctx) {
   const Shape& shape = reader_->dataset_shape();
   const std::vector<std::size_t> indices =
       reader_->RecordsFor(variable, t_begin, t_end);  // validates the query
-  const std::vector<Tensor> decoded = Fetch(indices);
+  const std::vector<Tensor> decoded = Fetch(indices, ctx);
 
   const std::int64_t hw = shape[2] * shape[3];
   Tensor out({t_end - t_begin, shape[2], shape[3]});  // zero-filled
@@ -273,7 +404,7 @@ Tensor DecodeScheduler::GetAll() {
   const Shape& shape = reader_->dataset_shape();
   std::vector<std::size_t> indices(reader_->records().size());
   for (std::size_t i = 0; i < indices.size(); ++i) indices[i] = i;
-  const std::vector<Tensor> decoded = Fetch(indices);
+  const std::vector<Tensor> decoded = Fetch(indices, nullptr);
 
   const std::int64_t frames = shape[1];
   const std::int64_t hw = shape[2] * shape[3];

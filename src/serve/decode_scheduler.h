@@ -13,6 +13,19 @@
 //   serve::DecodeScheduler scheduler(&reader, codec.get(), {.workers = 4});
 //   Tensor slice = scheduler.Get(0, 100, 140);   // [40, H, W], physical units
 //
+// Robustness contract (what ShardManager builds on):
+//  - A record whose decode fails — corrupt payload, injected fault, geometry
+//    mismatch — fails ONLY the queries that need that record, as a typed
+//    exception from Get; concurrent queries over other records are untouched
+//    and no worker-thread exception ever escapes the ThreadPool fan-out
+//    unclassified.
+//  - An optional RequestContext (deadline + cancel token) is checked
+//    cooperatively between decode chunks; an expired/cancelled request
+//    terminates with StatusError(kDeadlineExceeded/kCancelled) without
+//    poisoning the single-flight table (waiters re-decode for themselves).
+//  - ScheduleOptions::fault_injector is the test seam those guarantees are
+//    proven through.
+//
 // This is the foundation the ROADMAP's sharding/batching layers build on:
 // a shard is one (reader, scheduler) pair, and a batcher is a queue in front
 // of Get.
@@ -21,6 +34,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <exception>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -29,6 +43,8 @@
 
 #include "api/compressor.h"
 #include "core/archive_reader.h"
+#include "serve/fault_injector.h"
+#include "util/deadline.h"
 
 namespace glsc::serve {
 
@@ -50,6 +66,9 @@ struct ScheduleOptions {
   // DecompressWindow dispatch. Results are byte-identical either way —
   // batching is a dispatch choice, never a quality choice.
   std::int64_t max_batch = 8;
+  // Borrowed test seam, consulted before every record decode when non-null
+  // (see fault_injector.h). Must outlive the scheduler.
+  FaultInjector* fault_injector = nullptr;
 };
 
 class DecodeScheduler {
@@ -64,7 +83,13 @@ class DecodeScheduler {
 
   // One variable's frames [t_begin, t_end) in PHYSICAL units as
   // [t_end - t_begin, H, W]. Frames no record covers stay zero. Thread-safe.
-  Tensor Get(std::int64_t variable, std::int64_t t_begin, std::int64_t t_end);
+  // A non-null `ctx` bounds the call: the deadline/cancel token is checked
+  // between decode chunks and the call throws the matching typed StatusError
+  // instead of finishing. Decode failures surface as typed exceptions
+  // (ArchiveError / StatusError from injected faults) or whatever the codec
+  // threw for a corrupt payload — never a hang, never a torn result.
+  Tensor Get(std::int64_t variable, std::int64_t t_begin, std::int64_t t_end,
+             const RequestContext* ctx = nullptr);
 
   // Every record, as the full [V, T, H, W] tensor — byte-identical to
   // api::DecodeSession::DecodeAll for any worker count.
@@ -77,24 +102,38 @@ class DecodeScheduler {
   std::int64_t cache_hits() const {
     return hits_.load(std::memory_order_relaxed);
   }
+  // Record decodes that terminated with an error (per record, not per query).
+  std::int64_t decode_failures() const {
+    return failures_.load(std::memory_order_relaxed);
+  }
 
  private:
   // Single-flight slot for one record being decoded: the first query to miss
   // a record owns its decode; concurrent queries missing the same record wait
-  // on the flight instead of decoding it again. `aborted` is set when the
-  // owner failed before publishing, telling waiters to decode for themselves.
+  // on the flight instead of decoding it again. Exactly one of three endings
+  // is published: `done` (result valid), `aborted` with `error` set (the
+  // decode itself failed — waiters rethrow the same typed error), or
+  // `aborted` with no error (the owner stopped before decoding, e.g. its
+  // deadline expired — waiters decode for themselves).
   struct Flight {
     bool done = false;
     bool aborted = false;
     Tensor result;
+    std::exception_ptr error;
   };
 
   // Decoded normalized windows for `indices` (records() positions), from the
   // cache where possible, decoding the rest in parallel — coalesced into
   // batches of up to options_.max_batch per worker, deduplicated against
   // concurrent queries via the in-flight table.
-  std::vector<Tensor> Fetch(const std::vector<std::size_t>& indices);
+  std::vector<Tensor> Fetch(const std::vector<std::size_t>& indices,
+                            const RequestContext* ctx);
   void Insert(std::size_t record, const Tensor& decoded);  // mu_ held
+
+  // One record decode on worker slot `worker` (its mutex already held),
+  // injector hook included. Throws on failure.
+  Tensor DecodeRecord(std::size_t record, std::size_t worker,
+                      tensor::Workspace* ws);
 
   const core::ArchiveReader* reader_;
   ScheduleOptions options_;
@@ -124,6 +163,7 @@ class DecodeScheduler {
   std::condition_variable cv_;  // signaled on publish/abort, mu_ held
   std::atomic<std::int64_t> decoded_{0};
   std::atomic<std::int64_t> hits_{0};
+  std::atomic<std::int64_t> failures_{0};
 };
 
 }  // namespace glsc::serve

@@ -1,0 +1,87 @@
+// Bounded MPMC request queue for the serving front end.
+//
+// The queue is the load-shedding point of the multi-tenant server: producers
+// NEVER block. `TryPush` either admits the request or returns false
+// immediately (reject-newest) so an overloaded server answers "queue full" in
+// microseconds instead of stacking callers up behind a slow decode. Consumers
+// block in `Pop` until work arrives or the queue is closed.
+//
+// The element type is a template parameter so the queue stays a dumb bounded
+// buffer; admission policy (per-tenant limits, budgets, quarantine) lives in
+// ShardManager, which decides what gets to call TryPush at all.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace glsc::serve {
+
+template <typename T>
+class RequestQueue {
+ public:
+  // `capacity` is the hard bound; 0 is clamped to 1 (a queue that can never
+  // admit anything would make every request shed, which is a config error,
+  // not a useful mode).
+  explicit RequestQueue(std::size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  RequestQueue(const RequestQueue&) = delete;
+  RequestQueue& operator=(const RequestQueue&) = delete;
+
+  // Admits `item` unless the queue is full or closed. Never blocks.
+  bool TryPush(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  // Blocks until an item is available (returns it) or the queue is closed
+  // AND drained (returns nullopt — the consumer should exit).
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  // After Close: TryPush rejects, consumers drain the backlog then get
+  // nullopt. Idempotent.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace glsc::serve

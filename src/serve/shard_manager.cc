@@ -1,0 +1,334 @@
+#include "serve/shard_manager.h"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+#include <thread>
+
+#include "util/check.h"
+
+namespace glsc::serve {
+
+namespace {
+
+// Decoded output size of a request, the unit tenant byte budgets are charged
+// in. Charged at admission (pessimistically, from the request geometry) so a
+// tenant cannot blow through its budget with a burst of concurrent requests
+// that are all "free" until they complete.
+std::int64_t DecodedBytes(const core::ArchiveReader& reader,
+                          const GetRequest& request) {
+  const Shape& shape = reader.dataset_shape();
+  const std::int64_t frames = std::max<std::int64_t>(
+      0, request.t_end - request.t_begin);
+  return frames * shape[2] * shape[3] *
+         static_cast<std::int64_t>(sizeof(float));
+}
+
+}  // namespace
+
+ShardManager::ShardManager(const std::vector<ShardSpec>& shards,
+                           const ManagerOptions& options)
+    : options_(options) {
+  GLSC_CHECK_MSG(!shards.empty(), "ShardManager needs at least one shard");
+  GLSC_CHECK_MSG(options_.worker_threads >= 1, "worker_threads must be >= 1");
+  shards_.reserve(shards.size());
+  for (const ShardSpec& spec : shards) {
+    GLSC_CHECK(spec.reader != nullptr && spec.codec != nullptr);
+    Shard shard;
+    shard.reader = spec.reader;
+    shard.scheduler = std::make_unique<DecodeScheduler>(
+        spec.reader, spec.codec, spec.schedule);
+    shards_.push_back(std::move(shard));
+  }
+  queue_ = std::make_unique<RequestQueue<std::shared_ptr<Job>>>(
+      options_.queue_capacity);
+  workers_.reserve(static_cast<std::size_t>(options_.worker_threads));
+  for (int i = 0; i < options_.worker_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ShardManager::~ShardManager() { Shutdown(); }
+
+void ShardManager::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) return;
+    shutdown_ = true;
+  }
+  // Workers drain the backlog (every already-admitted job still reaches a
+  // terminal state) and exit when Pop returns nullopt.
+  queue_->Close();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+ShardManager::TenantState& ShardManager::TenantFor(const std::string& tenant) {
+  const auto it = tenants_.find(tenant);
+  if (it != tenants_.end()) return it->second;
+  TenantState state;
+  state.limits = options_.default_limits;
+  return tenants_.emplace(tenant, state).first->second;
+}
+
+void ShardManager::SetTenantLimits(const std::string& tenant,
+                                   const TenantLimits& limits) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TenantFor(tenant).limits = limits;
+}
+
+bool ShardManager::quarantined(std::size_t shard) const {
+  GLSC_CHECK(shard < shards_.size());
+  std::lock_guard<std::mutex> lock(mu_);
+  return shards_[shard].quarantined;
+}
+
+void ShardManager::ReviveShard(std::size_t shard) {
+  GLSC_CHECK(shard < shards_.size());
+  std::lock_guard<std::mutex> lock(mu_);
+  shards_[shard].quarantined = false;
+  shards_[shard].consecutive_failures = 0;
+}
+
+Tensor ShardManager::Get(const GetRequest& request) {
+  // ---- Admission (caller's thread; cheap, never touches a decoder) -------
+  // Check order: shutdown, validity, quarantine, tenant limits, then the
+  // queue — so a request is only charged against its tenant once everything
+  // it does not control has passed.
+  const std::int64_t bytes =
+      request.shard < shards_.size()
+          ? DecodedBytes(*shards_[request.shard].reader, request)
+          : 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) {
+      throw ServeError(ErrorCode::kShutdown, "shard manager is shut down");
+    }
+    if (request.shard >= shards_.size()) {
+      std::ostringstream os;
+      os << "shard " << request.shard << " out of range (have "
+         << shards_.size() << ")";
+      throw ServeError(ErrorCode::kInvalidArgument, os.str());
+    }
+    const Shape& shape = shards_[request.shard].reader->dataset_shape();
+    if (request.variable < 0 || request.variable >= shape[0] ||
+        request.t_begin < 0 || request.t_end > shape[1] ||
+        request.t_begin >= request.t_end) {
+      std::ostringstream os;
+      os << "bad request geometry: variable " << request.variable
+         << ", frames [" << request.t_begin << ", " << request.t_end
+         << ") against dataset [" << shape[0] << ", " << shape[1] << ", "
+         << shape[2] << ", " << shape[3] << "]";
+      throw ServeError(ErrorCode::kInvalidArgument, os.str());
+    }
+    if (shards_[request.shard].quarantined) {
+      rejected_quarantine_.fetch_add(1, std::memory_order_relaxed);
+      std::ostringstream os;
+      os << "shard " << request.shard
+         << " is quarantined after repeated decode failures";
+      throw ServeError(ErrorCode::kQuarantined, os.str());
+    }
+    TenantState& tenant = TenantFor(request.tenant);
+    if (tenant.limits.max_in_flight > 0 &&
+        tenant.in_flight >= tenant.limits.max_in_flight) {
+      rejected_tenant_limit_.fetch_add(1, std::memory_order_relaxed);
+      std::ostringstream os;
+      os << "tenant '" << request.tenant << "' at max in-flight ("
+         << tenant.limits.max_in_flight << ")";
+      throw ServeError(ErrorCode::kTenantLimit, os.str());
+    }
+    if (tenant.limits.decoded_byte_budget >= 0 &&
+        tenant.decoded_bytes + bytes > tenant.limits.decoded_byte_budget) {
+      rejected_budget_.fetch_add(1, std::memory_order_relaxed);
+      std::ostringstream os;
+      os << "tenant '" << request.tenant << "' decoded-byte budget exhausted ("
+         << tenant.decoded_bytes << " + " << bytes << " > "
+         << tenant.limits.decoded_byte_budget << ")";
+      throw ServeError(ErrorCode::kBudgetExhausted, os.str());
+    }
+    tenant.in_flight += 1;
+    tenant.decoded_bytes += bytes;
+  }
+
+  auto job = std::make_shared<Job>();
+  job->request = request;
+  if (!queue_->TryPush(job)) {
+    // Reject-newest load shedding: un-charge the tenant and fail typed,
+    // immediately. (A closed queue means a racing Shutdown — report that.)
+    bool was_shutdown;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      TenantState& tenant = TenantFor(request.tenant);
+      tenant.in_flight -= 1;
+      tenant.decoded_bytes -= bytes;
+      was_shutdown = shutdown_;
+    }
+    if (was_shutdown) {
+      throw ServeError(ErrorCode::kShutdown, "shard manager is shut down");
+    }
+    shed_queue_full_.fetch_add(1, std::memory_order_relaxed);
+    std::ostringstream os;
+    os << "request queue full (" << queue_->capacity() << "); shedding load";
+    throw ServeError(ErrorCode::kQueueFull, os.str());
+  }
+  admitted_.fetch_add(1, std::memory_order_relaxed);
+
+  // ---- Rendezvous: block on THIS job only. Workers always drive every
+  // admitted job to finished=true (Execute never throws and Shutdown drains
+  // the backlog), so this wait cannot hang.
+  std::unique_lock<std::mutex> lock(job->mu);
+  job->cv.wait(lock, [&] { return job->finished; });
+  if (job->error != nullptr) std::rethrow_exception(job->error);
+  return std::move(job->result);
+}
+
+void ShardManager::WorkerLoop() {
+  while (true) {
+    std::optional<std::shared_ptr<Job>> job = queue_->Pop();
+    if (!job.has_value()) return;  // closed + drained
+    Execute(job->get());
+  }
+}
+
+void ShardManager::Execute(Job* job) {
+  const GetRequest& request = job->request;
+  const RequestContext ctx{request.deadline, request.cancel};
+  Shard& shard = shards_[request.shard];
+
+  std::exception_ptr error;
+  Tensor result;
+  bool shard_fault = false;  // counts toward the circuit breaker
+  try {
+    // A request that sat in the queue past its deadline (or was cancelled
+    // while waiting) fails here without ever touching the decoder.
+    ctx.Check();
+    // Quarantine may have tripped while this job was queued; honor it.
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (shard.quarantined) {
+        rejected_quarantine_.fetch_add(1, std::memory_order_relaxed);
+        throw ServeError(ErrorCode::kQuarantined,
+                         "shard quarantined while request was queued");
+      }
+    }
+    int attempt = 0;
+    while (true) {
+      try {
+        result = shard.scheduler->Get(request.variable, request.t_begin,
+                                      request.t_end, &ctx);
+        break;
+      } catch (const StatusError& e) {
+        if (!e.transient() || attempt >= options_.max_retries) throw;
+        // Exponential backoff, but never sleep past the deadline: the
+        // retry is pointless if the request cannot finish in time.
+        ctx.Check();
+        const int backoff_ms = options_.retry_backoff_ms << attempt;
+        if (backoff_ms > 0) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+        }
+        ctx.Check();
+        ++attempt;
+        retries_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  } catch (const StatusError& e) {
+    error = std::current_exception();
+    switch (e.code()) {
+      case ErrorCode::kDeadlineExceeded:
+        deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case ErrorCode::kCancelled:
+        cancelled_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case ErrorCode::kQuarantined:
+        break;  // fail-fast, not a new shard fault
+      default:
+        // kDataLoss / kInternal / kUnavailable-with-retries-exhausted:
+        // the shard itself failed to serve.
+        shard_fault = true;
+        break;
+    }
+  } catch (const std::exception& e) {
+    // Anything untyped that escaped the decode stack is a shard-side
+    // internal failure; re-brand it so callers always see a typed error.
+    error = std::make_exception_ptr(
+        ServeError(ErrorCode::kInternal, e.what()));
+    shard_fault = true;
+  }
+
+  // Circuit breaker: consecutive shard faults trip quarantine; any success
+  // resets the streak.
+  if (options_.quarantine_threshold > 0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (error == nullptr) {
+      shard.consecutive_failures = 0;
+    } else if (shard_fault) {
+      shard.consecutive_failures += 1;
+      if (shard.consecutive_failures >= options_.quarantine_threshold) {
+        shard.quarantined = true;
+      }
+    }
+  }
+
+  FinishJob(*job, error == nullptr);
+
+  {
+    std::lock_guard<std::mutex> lock(job->mu);
+    job->result = std::move(result);
+    job->error = error;
+    job->finished = true;
+  }
+  job->cv.notify_all();
+}
+
+void ShardManager::FinishJob(const Job& job, bool ok) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    TenantState& tenant = TenantFor(job.request.tenant);
+    tenant.in_flight -= 1;
+    if (!ok) {
+      // Failed requests delivered no bytes; refund the admission charge.
+      tenant.decoded_bytes -=
+          DecodedBytes(*shards_[job.request.shard].reader, job.request);
+    }
+  }
+  if (ok) {
+    completed_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    failed_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+ServeStats ShardManager::Stats() const {
+  ServeStats stats;
+  stats.admitted = admitted_.load(std::memory_order_relaxed);
+  stats.completed = completed_.load(std::memory_order_relaxed);
+  stats.failed = failed_.load(std::memory_order_relaxed);
+  stats.shed_queue_full = shed_queue_full_.load(std::memory_order_relaxed);
+  stats.rejected_tenant_limit =
+      rejected_tenant_limit_.load(std::memory_order_relaxed);
+  stats.rejected_budget = rejected_budget_.load(std::memory_order_relaxed);
+  stats.rejected_quarantine =
+      rejected_quarantine_.load(std::memory_order_relaxed);
+  stats.deadline_exceeded =
+      deadline_exceeded_.load(std::memory_order_relaxed);
+  stats.cancelled = cancelled_.load(std::memory_order_relaxed);
+  stats.retries = retries_.load(std::memory_order_relaxed);
+  for (const Shard& shard : shards_) {
+    stats.decoded_records += shard.scheduler->decoded_records();
+    stats.cache_hits += shard.scheduler->cache_hits();
+    stats.decode_failures += shard.scheduler->decode_failures();
+  }
+  stats.queue_depth = queue_->size();
+  stats.shard_quarantined.reserve(shards_.size());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const Shard& shard : shards_) {
+      stats.shard_quarantined.push_back(shard.quarantined);
+    }
+  }
+  return stats;
+}
+
+}  // namespace glsc::serve

@@ -1,0 +1,226 @@
+// Multi-tenant serving front end over a fleet of decode shards.
+//
+// A shard is one (ArchiveReader, DecodeScheduler) pair with its own cache and
+// worker budget — exactly the unit the ROADMAP's serving notes call for. The
+// ShardManager puts a bounded request queue and an admission controller in
+// front of the fleet so many tenants can share it without one of them (or one
+// broken archive) taking the service down:
+//
+//   request --> admission control --> bounded queue --> worker threads
+//               (tenant in-flight       (reject-newest    (retry transients,
+//                limits, byte budgets,   when full:        quarantine shards
+//                quarantine fail-fast)   kQueueFull)       that keep failing)
+//
+// Degradation ladder under stress, in order:
+//  1. Load shedding — the queue is bounded and TryPush never blocks; when it
+//     is full, new requests fail immediately with kQueueFull instead of
+//     growing memory or latency without bound.
+//  2. Deadlines — each request carries an optional Deadline + CancelToken,
+//     checked when the request is dequeued and cooperatively between decode
+//     chunks; expiry surfaces as kDeadlineExceeded, never a hang.
+//  3. Retry with backoff — transient decode failures (kUnavailable) are
+//     retried up to max_retries with exponential backoff, deadline
+//     permitting.
+//  4. Quarantine — quarantine_threshold CONSECUTIVE non-transient decode
+//     failures trip a shard's circuit breaker: subsequent requests fail fast
+//     with kQuarantined (no decode attempted) while other shards serve
+//     normally. ReviveShard() closes the breaker after repair.
+//
+// Correctness bar: with no faults and unconstrained budgets, Get() is
+// byte-identical to calling the shard's DecodeScheduler::Get directly. Under
+// injected faults every request terminates with either correct bytes or a
+// typed ServeError — no hang, no crash, no unbounded queue growth.
+//
+// Get() is synchronous and thread-safe: call it from as many tenant threads
+// as you like; admission happens on the caller's thread, decode happens on
+// the manager's dedicated workers, and the caller blocks only on its own
+// request's completion.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/decode_scheduler.h"
+#include "serve/request_queue.h"
+#include "util/deadline.h"
+#include "util/status.h"
+
+namespace glsc::serve {
+
+// Typed failure from the serving front end. code() says what happened:
+// kQueueFull (shed), kTenantLimit / kBudgetExhausted (admission),
+// kQuarantined (circuit breaker open), kDeadlineExceeded / kCancelled,
+// kUnavailable (transient, retries exhausted), kDataLoss (corrupt data),
+// kShutdown, kInvalidArgument, kInternal.
+class ServeError : public StatusError {
+ public:
+  using StatusError::StatusError;
+};
+
+// One decode shard. All pointers are borrowed and must outlive the manager.
+struct ShardSpec {
+  const core::ArchiveReader* reader = nullptr;
+  api::Compressor* codec = nullptr;  // must match reader->codec()
+  // Per-shard budget: cache_windows and workers here ARE the shard's memory
+  // and compute allotment. fault_injector is the per-shard test seam.
+  ScheduleOptions schedule;
+};
+
+struct TenantLimits {
+  // Admitted requests (queued + executing) a tenant may hold at once;
+  // exceeding it fails admission with kTenantLimit. <= 0 means unlimited.
+  std::int64_t max_in_flight = 8;
+  // Cumulative decoded output bytes the tenant may consume; once spent,
+  // admission fails with kBudgetExhausted until the limit is raised.
+  // < 0 means unlimited.
+  std::int64_t decoded_byte_budget = -1;
+};
+
+struct ManagerOptions {
+  // Bounded queue depth shared by all shards; the load-shedding point.
+  std::size_t queue_capacity = 64;
+  // Dedicated consumer threads executing requests (independent of the global
+  // ThreadPool so a saturated decode fan-out cannot starve the dispatcher).
+  int worker_threads = 2;
+  // Transient-failure (kUnavailable) retries per request, with exponential
+  // backoff starting at retry_backoff_ms (0 retries = fail on first fault).
+  int max_retries = 2;
+  int retry_backoff_ms = 1;
+  // Consecutive failed requests (non-transient decode faults, or transients
+  // that exhausted their retries) that trip a shard's circuit breaker.
+  // <= 0 disables quarantine.
+  int quarantine_threshold = 3;
+  // Applied to tenants without an explicit SetTenantLimits entry.
+  TenantLimits default_limits;
+};
+
+struct GetRequest {
+  std::size_t shard = 0;
+  std::int64_t variable = 0;
+  std::int64_t t_begin = 0;
+  std::int64_t t_end = 0;
+  std::string tenant = "default";
+  Deadline deadline;  // default: none
+  const CancelToken* cancel = nullptr;  // borrowed; optional
+};
+
+// Monotonic counters since construction plus point-in-time gauges.
+// admitted == completed + failed + (currently in flight).
+struct ServeStats {
+  std::int64_t admitted = 0;
+  std::int64_t completed = 0;
+  std::int64_t failed = 0;  // terminated with any typed error post-admission
+  // Admission rejections by cause (these are NOT counted in `admitted`).
+  std::int64_t shed_queue_full = 0;
+  std::int64_t rejected_tenant_limit = 0;
+  std::int64_t rejected_budget = 0;
+  std::int64_t rejected_quarantine = 0;
+  // Post-admission outcomes by cause (subsets of `failed`).
+  std::int64_t deadline_exceeded = 0;
+  std::int64_t cancelled = 0;
+  // Transient-failure retries performed (a request may contribute several).
+  std::int64_t retries = 0;
+  // Summed over shards' schedulers.
+  std::int64_t decoded_records = 0;
+  std::int64_t cache_hits = 0;
+  std::int64_t decode_failures = 0;
+  // Gauges.
+  std::size_t queue_depth = 0;
+  std::vector<bool> shard_quarantined;
+};
+
+class ShardManager {
+ public:
+  // Builds one DecodeScheduler per spec and starts the worker threads.
+  explicit ShardManager(const std::vector<ShardSpec>& shards,
+                        const ManagerOptions& options = {});
+  ~ShardManager();  // Shutdown() + join
+
+  ShardManager(const ShardManager&) = delete;
+  ShardManager& operator=(const ShardManager&) = delete;
+
+  // Serves one request: admission -> queue -> decode (with retry) -> result.
+  // Returns the [t_end - t_begin, H, W] physical-units tensor, byte-identical
+  // to the shard scheduler's own Get. Throws ServeError / StatusError /
+  // core::ArchiveError on any failure; every call terminates.
+  Tensor Get(const GetRequest& request);
+
+  // Replaces `tenant`'s limits (creating the tenant record if new). Takes
+  // effect for subsequent admissions; in-flight requests are unaffected.
+  void SetTenantLimits(const std::string& tenant, const TenantLimits& limits);
+
+  bool quarantined(std::size_t shard) const;
+  // Closes `shard`'s circuit breaker and zeroes its failure streak.
+  void ReviveShard(std::size_t shard);
+
+  ServeStats Stats() const;
+
+  std::size_t num_shards() const { return shards_.size(); }
+  const DecodeScheduler& scheduler(std::size_t shard) const {
+    return *shards_.at(shard).scheduler;
+  }
+
+  // Stops admitting (kShutdown), drains queued requests (each still completes
+  // or fails typed — never silently dropped), joins workers. Idempotent.
+  void Shutdown();
+
+ private:
+  struct Shard {
+    const core::ArchiveReader* reader;
+    std::unique_ptr<DecodeScheduler> scheduler;
+    int consecutive_failures = 0;  // under mu_
+    bool quarantined = false;      // under mu_
+  };
+  struct TenantState {
+    TenantLimits limits;
+    std::int64_t in_flight = 0;      // under mu_
+    std::int64_t decoded_bytes = 0;  // under mu_
+  };
+  // One admitted request's rendezvous between the caller (blocked in Get)
+  // and the worker that executes it.
+  struct Job {
+    GetRequest request;
+    std::mutex mu;
+    std::condition_variable cv;
+    bool finished = false;
+    Tensor result;
+    std::exception_ptr error;
+  };
+
+  void WorkerLoop();
+  // Runs one dequeued job: deadline check, decode with transient retries,
+  // quarantine bookkeeping. Fills job->result or job->error; never throws.
+  void Execute(Job* job);
+  // Post-admission bookkeeping when a job reaches a terminal state.
+  void FinishJob(const Job& job, bool ok);
+  TenantState& TenantFor(const std::string& tenant);  // mu_ held
+
+  std::vector<Shard> shards_;
+  ManagerOptions options_;
+  std::unique_ptr<RequestQueue<std::shared_ptr<Job>>> queue_;
+  std::vector<std::thread> workers_;
+
+  mutable std::mutex mu_;  // tenants, quarantine state, shutdown flag
+  std::unordered_map<std::string, TenantState> tenants_;
+  bool shutdown_ = false;
+
+  std::atomic<std::int64_t> admitted_{0};
+  std::atomic<std::int64_t> completed_{0};
+  std::atomic<std::int64_t> failed_{0};
+  std::atomic<std::int64_t> shed_queue_full_{0};
+  std::atomic<std::int64_t> rejected_tenant_limit_{0};
+  std::atomic<std::int64_t> rejected_budget_{0};
+  std::atomic<std::int64_t> rejected_quarantine_{0};
+  std::atomic<std::int64_t> deadline_exceeded_{0};
+  std::atomic<std::int64_t> cancelled_{0};
+  std::atomic<std::int64_t> retries_{0};
+};
+
+}  // namespace glsc::serve

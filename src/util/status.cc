@@ -1,0 +1,27 @@
+#include "util/status.h"
+
+namespace glsc {
+
+const char* ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk: return "ok";
+    case ErrorCode::kCancelled: return "cancelled";
+    case ErrorCode::kDeadlineExceeded: return "deadline_exceeded";
+    case ErrorCode::kQueueFull: return "queue_full";
+    case ErrorCode::kTenantLimit: return "tenant_limit";
+    case ErrorCode::kBudgetExhausted: return "budget_exhausted";
+    case ErrorCode::kQuarantined: return "quarantined";
+    case ErrorCode::kShutdown: return "shutdown";
+    case ErrorCode::kUnavailable: return "unavailable";
+    case ErrorCode::kDataLoss: return "data_loss";
+    case ErrorCode::kInvalidArgument: return "invalid_argument";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+StatusError::StatusError(ErrorCode code, const std::string& message)
+    : std::runtime_error(std::string(ErrorCodeName(code)) + ": " + message),
+      code_(code) {}
+
+}  // namespace glsc

@@ -1,0 +1,52 @@
+// Typed error codes for the serving stack. GLSC_CHECK throws a bare
+// std::runtime_error, which is fine for programming errors but useless to a
+// layer that must DECIDE something about a failure: the shard manager retries
+// transient faults, quarantines shards on data loss, and sheds load with an
+// error the client can tell apart from a corrupt archive. StatusError carries
+// that decision surface — an ErrorCode plus the human message — while still
+// deriving from std::runtime_error so every existing catch site keeps working.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace glsc {
+
+enum class ErrorCode : std::uint8_t {
+  kOk = 0,
+  // Request-lifecycle outcomes (serve front end).
+  kCancelled = 1,         // caller's CancelToken fired
+  kDeadlineExceeded = 2,  // request deadline passed before completion
+  kQueueFull = 3,         // bounded queue rejected the newest request
+  kTenantLimit = 4,       // per-tenant in-flight cap reached
+  kBudgetExhausted = 5,   // per-tenant decoded-byte budget spent
+  kQuarantined = 6,       // shard circuit-broken after repeated failures
+  kShutdown = 7,          // manager is stopping; no new work accepted
+  // Failure classification (decode/IO).
+  kUnavailable = 8,       // transient — retrying may succeed
+  kDataLoss = 9,          // corrupt/truncated bytes — retrying cannot help
+  kInvalidArgument = 10,  // malformed request (bad shard/range)
+  kInternal = 11,         // unexpected failure wrapped at the serve boundary
+};
+
+// Stable lowercase name, e.g. "deadline_exceeded" (for logs and bench JSON).
+const char* ErrorCodeName(ErrorCode code);
+
+// True for codes where a bounded retry is a sensible policy.
+constexpr bool IsTransient(ErrorCode code) {
+  return code == ErrorCode::kUnavailable;
+}
+
+class StatusError : public std::runtime_error {
+ public:
+  StatusError(ErrorCode code, const std::string& message);
+
+  ErrorCode code() const { return code_; }
+  bool transient() const { return IsTransient(code_); }
+
+ private:
+  ErrorCode code_;
+};
+
+}  // namespace glsc

@@ -49,7 +49,8 @@ void ThreadPool::WorkerLoop() {
 }
 
 void ThreadPool::ParallelFor(std::size_t n,
-                             const std::function<void(std::size_t)>& fn) {
+                             const std::function<void(std::size_t)>& fn,
+                             const RequestContext* ctx) {
   if (n == 0) return;
   // Nested call from one of our own workers: helper tasks submitted here
   // could sit in the queue behind tasks whose workers are themselves blocked
@@ -57,15 +58,19 @@ void ThreadPool::ParallelFor(std::size_t n,
   // Running inline keeps the worker making progress (and the outer
   // ParallelFor's other workers supply the parallelism).
   if (n == 1 || workers_.size() <= 1 || InWorkerThread()) {
-    for (std::size_t i = 0; i < n; ++i) fn(i);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (ShouldAbort(ctx)) return;
+      fn(i);
+    }
     return;
   }
   // Dynamic index dispenser: workers and the caller pull the next index until
   // exhausted. This balances irregular per-item cost (e.g. diffusion decode
   // of different window sizes) better than static chunking.
   auto counter = std::make_shared<std::atomic<std::size_t>>(0);
-  auto body = [counter, n, &fn] {
+  auto body = [counter, n, &fn, ctx] {
     while (true) {
+      if (ShouldAbort(ctx)) return;
       const std::size_t i = counter->fetch_add(1, std::memory_order_relaxed);
       if (i >= n) return;
       fn(i);
@@ -75,8 +80,27 @@ void ThreadPool::ParallelFor(std::size_t n,
   const std::size_t helpers = std::min(workers_.size(), n - 1);
   futs.reserve(helpers);
   for (std::size_t i = 0; i < helpers; ++i) futs.push_back(Submit(body));
-  body();
-  for (auto& f : futs) f.get();
+  // Drain EVERY helper before leaving this frame, even when a body throws:
+  // helper tasks capture `fn` (and through it the caller's locals) by
+  // reference, so unwinding while one still runs is a use-after-scope. The
+  // first exception observed — inline body first, then helpers in order —
+  // is rethrown once all of them have finished.
+  std::exception_ptr first_error;
+  try {
+    body();
+  } catch (...) {
+    first_error = std::current_exception();
+    // Stop helpers from starting new indices; in-flight ones finish.
+    counter->store(n, std::memory_order_relaxed);
+  }
+  for (auto& f : futs) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 ThreadPool& GlobalThreadPool() {

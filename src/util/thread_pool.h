@@ -13,6 +13,8 @@
 #include <thread>
 #include <vector>
 
+#include "util/deadline.h"
+
 namespace glsc {
 
 class ThreadPool {
@@ -40,13 +42,25 @@ class ThreadPool {
     return fut;
   }
 
-  // Blocking parallel-for over [0, n): fn(i) is invoked exactly once per
+  // Blocking parallel-for over [0, n): fn(i) is invoked at most once per
   // index, distributed over the pool plus the calling thread. Safe to call
   // from inside a task running on this pool: nested calls run inline on the
   // calling worker instead of submitting helper tasks, because blocking a
   // worker on futures whose tasks sit behind other blocked workers in the
   // queue deadlocks the pool.
-  void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
+  //
+  // Exceptions: every dispatched fn(i) runs to completion before ParallelFor
+  // returns or throws — a throwing body never leaves helper tasks running
+  // against the caller's (about to unwind) stack frame. If one or more bodies
+  // throw, the first exception observed is rethrown after all workers drain.
+  //
+  // Cancellation: a non-null `ctx` is checked before each index is
+  // dispatched; once the deadline expires or the token fires, remaining
+  // indices are SKIPPED (fn is not called for them) and ParallelFor returns
+  // normally — the caller is expected to re-check its context and decide.
+  // Indices already running are not interrupted.
+  void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn,
+                   const RequestContext* ctx = nullptr);
 
   // True when the calling thread is one of THIS pool's workers.
   bool InWorkerThread() const;
