@@ -1,0 +1,116 @@
+// Fuzz target: range coder round-trip differential.
+//
+// The input deterministically selects a frequency table (always valid: every
+// slot non-zero, total < kMaxTotal) and a symbol sequence. The harness then
+// checks, aborting on any divergence:
+//
+//   1. Encode() per symbol and EncodeSpan() produce byte-identical streams
+//      (EncodeSpan documents itself as a hoisted loop, not a new coder).
+//   2. DecodeSlot()/Consume() recovers the original symbols.
+//   3. DecodeSpan() recovers the original symbols.
+//   4. The two decode APIs also agree when fed the RAW fuzz input as a
+//      hostile bitstream (decoding garbage must stay in-bounds and
+//      deterministic; NextByte() zero-fills past the end by contract).
+//
+// A mismatch means the SIMD-era bulk paths and the scalar reference have
+// drifted — exactly the corruption class an archive gate cannot catch.
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "codec/range_coder.h"
+
+namespace {
+
+using glsc::codec::RangeDecoder;
+using glsc::codec::RangeEncoder;
+
+void Require(bool ok, const char* what) {
+  if (!ok) {
+    std::fprintf(stderr, "fuzz_range_coder divergence: %s\n", what);
+    std::abort();
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size < 4) return 0;
+
+  // --- Derive a valid table from the prefix. ---
+  const std::uint32_t nsyms = 2u + data[0] % 63u;  // 2..64 symbols
+  std::vector<std::uint32_t> freq(nsyms), cum(nsyms + 1, 0);
+  std::uint32_t total = 0;
+  for (std::uint32_t s = 0; s < nsyms; ++s) {
+    // 1..256 per slot: non-zero, and 64 * 256 stays far below kMaxTotal.
+    freq[s] = 1u + data[1 + (s % 3)] % 251u + (s * 7u) % 5u;
+    cum[s + 1] = cum[s] + freq[s];
+    total += freq[s];
+  }
+  Require(total < RangeEncoder::kMaxTotal, "table total exceeds kMaxTotal");
+
+  // --- Symbol stream from the rest of the input. ---
+  std::vector<std::int32_t> syms;
+  syms.reserve(size - 4);
+  for (std::size_t i = 4; i < size; ++i) {
+    syms.push_back(static_cast<std::int32_t>(data[i] % nsyms));
+  }
+
+  // --- 1: per-symbol vs bulk encode, byte for byte. ---
+  RangeEncoder enc_scalar;
+  for (const std::int32_t s : syms) {
+    enc_scalar.Encode(cum[s], freq[s], total);
+  }
+  const std::vector<std::uint8_t> bytes_scalar = enc_scalar.Finish();
+
+  RangeEncoder enc_bulk;
+  enc_bulk.EncodeSpan(cum.data(), freq.data(), total, syms.data(), syms.size());
+  const std::vector<std::uint8_t> bytes_bulk = enc_bulk.Finish();
+  Require(bytes_scalar == bytes_bulk, "Encode vs EncodeSpan byte streams");
+
+  // --- 2: slot/consume decode recovers the input. ---
+  {
+    RangeDecoder dec(bytes_scalar.data(), bytes_scalar.size());
+    for (std::size_t i = 0; i < syms.size(); ++i) {
+      const std::uint32_t slot = dec.DecodeSlot(total);
+      std::int32_t sym = 0;
+      while (cum[sym + 1] <= slot) ++sym;
+      Require(sym == syms[i], "DecodeSlot round-trip symbol");
+      dec.Consume(cum[sym], freq[sym], total);
+    }
+  }
+
+  // --- 3: bulk decode recovers the input. ---
+  {
+    RangeDecoder dec(bytes_scalar.data(), bytes_scalar.size());
+    std::vector<std::int32_t> out(syms.size());
+    const std::size_t got =
+        dec.DecodeSpan(cum.data(), freq.data(), nsyms, total,
+                       /*stop_sym=*/-1, out.data(), out.size());
+    Require(got == syms.size(), "DecodeSpan symbol count");
+    Require(out == syms, "DecodeSpan round-trip symbols");
+  }
+
+  // --- 4: hostile bitstream — both decode APIs agree symbol-for-symbol. ---
+  {
+    const std::size_t probe = std::min<std::size_t>(size, 512);
+    RangeDecoder dec_a(data, size);
+    RangeDecoder dec_b(data, size);
+    std::vector<std::int32_t> out_b(probe);
+    const std::size_t got = dec_b.DecodeSpan(cum.data(), freq.data(), nsyms,
+                                             total, /*stop_sym=*/-1,
+                                             out_b.data(), probe);
+    Require(got == probe, "hostile DecodeSpan count");
+    for (std::size_t i = 0; i < probe; ++i) {
+      const std::uint32_t slot = dec_a.DecodeSlot(total);
+      std::int32_t sym = 0;
+      while (cum[sym + 1] <= slot) ++sym;
+      dec_a.Consume(cum[sym], freq[sym], total);
+      Require(sym == out_b[i], "hostile decode API agreement");
+    }
+  }
+  return 0;
+}

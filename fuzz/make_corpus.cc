@@ -1,0 +1,145 @@
+// Seed-corpus generator for the fuzz/ harnesses.
+//
+//   glsc_make_corpus OUT_DIR
+//
+// writes OUT_DIR/archive/*.bin (container bytes in v3 and v2 wire formats,
+// from the model-free test codecs, plus truncated/corrupted variants so even
+// a coverage-blind replay run reaches the error paths) and
+// OUT_DIR/range_coder/*.bin (structured inputs for the round-trip
+// differential). Everything is deterministic: fixed seeds, fixed shapes.
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "api/session.h"
+#include "codec/range_coder.h"
+#include "core/container.h"
+#include "data/field_generators.h"
+
+namespace {
+
+using glsc::ByteWriter;
+using glsc::Tensor;
+
+void WriteBlob(const std::filesystem::path& path,
+               const std::vector<std::uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  std::printf("  %s (%zu bytes)\n", path.c_str(), bytes.size());
+}
+
+// A small archive: [1, 20, 16, 16] climate field through `codec_name`. With
+// window 16 that is one full record plus a padded 4-frame tail.
+glsc::core::DatasetArchive SmallArchive(const std::string& codec_name,
+                                        std::uint64_t seed) {
+  glsc::data::FieldSpec spec;
+  spec.variables = 1;
+  spec.frames = 20;
+  spec.height = 16;
+  spec.width = 16;
+  spec.seed = seed;
+  const Tensor field = glsc::data::GenerateClimate(spec);
+
+  auto codec = glsc::api::Compressor::Create(codec_name);
+  glsc::api::SessionOptions options;
+  options.bound = {glsc::api::ErrorBoundMode::kRelative, 0.05};
+  glsc::api::EncodeSession session(codec.get(), spec.variables, spec.height,
+                                   spec.width, options);
+  session.Push(field);
+  return session.Finish();
+}
+
+// The v2 wire format (no index/footer), mirroring container.h's layout doc —
+// seeds the scan-built index path in ArchiveReader.
+std::vector<std::uint8_t> SerializeAsV2(
+    const glsc::core::DatasetArchive& archive) {
+  ByteWriter out;
+  out.PutBytes("GLSC", 4);
+  out.PutU8(2);
+  out.PutString(archive.codec());
+  for (const auto d : archive.dataset_shape()) {
+    out.PutU64(static_cast<std::uint64_t>(d));
+  }
+  out.PutU64(static_cast<std::uint64_t>(archive.window()));
+  for (std::int64_t v = 0; v < archive.dataset_shape()[0]; ++v) {
+    for (std::int64_t t = 0; t < archive.dataset_shape()[1]; ++t) {
+      out.PutF32(archive.norm(v, t).mean);
+      out.PutF32(archive.norm(v, t).range);
+    }
+  }
+  out.PutVarU64(archive.entries().size());
+  for (const auto& entry : archive.entries()) {
+    out.PutVarU64(static_cast<std::uint64_t>(entry.variable));
+    out.PutVarU64(static_cast<std::uint64_t>(entry.t0));
+    out.PutVarU64(static_cast<std::uint64_t>(entry.valid_frames));
+    out.PutVarU64(entry.payload.size());
+    out.PutBytes(entry.payload.data(), entry.payload.size());
+  }
+  return out.Release();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s OUT_DIR\n", argv[0]);
+    return 2;
+  }
+  const std::filesystem::path out_dir(argv[1]);
+  const auto archive_dir = out_dir / "archive";
+  const auto coder_dir = out_dir / "range_coder";
+  std::filesystem::create_directories(archive_dir);
+  std::filesystem::create_directories(coder_dir);
+
+  // --- Archive seeds: v3 from each model-free codec, plus the v2 format.
+  // (cdc/gcd/vae_sr need trained artifacts; the fuzzers only care about
+  // container structure, which is codec-independent.) ---
+  for (const std::string codec : {"sz", "zfp"}) {
+    const auto archive = SmallArchive(codec, 7 + codec.size());
+    WriteBlob(archive_dir / ("v3_" + codec + ".bin"), archive.Serialize());
+  }
+  {
+    const auto archive = SmallArchive("sz", 23);
+    const auto v3 = archive.Serialize();
+    WriteBlob(archive_dir / "v2_sz.bin", SerializeAsV2(archive));
+
+    // Damaged variants reach the rejection paths without coverage feedback:
+    // a truncated stream, a severed footer, and a corrupted index byte.
+    std::vector<std::uint8_t> truncated(v3.begin(),
+                                        v3.begin() + v3.size() / 2);
+    WriteBlob(archive_dir / "v3_truncated.bin", truncated);
+
+    std::vector<std::uint8_t> no_footer(v3.begin(), v3.end() - 12);
+    WriteBlob(archive_dir / "v3_no_footer.bin", no_footer);
+
+    std::vector<std::uint8_t> bad_index = v3;
+    bad_index[bad_index.size() - 20] ^= 0xFF;
+    WriteBlob(archive_dir / "v3_bad_index.bin", bad_index);
+  }
+
+  // --- Range-coder seeds: [header | symbols] in the harness's input shape
+  // (byte 0 picks the symbol count, bytes 1-3 shape the table, the rest is
+  // the symbol stream). Spread over degenerate and wide tables.
+  {
+    const std::vector<std::vector<std::uint8_t>> shapes = {
+        {0, 0, 0, 0},                      // 2 symbols, minimal freqs
+        {62, 250, 1, 7},                   // 64 symbols, skewed
+        {14, 100, 100, 100},               // 16 symbols, flat
+    };
+    int index = 0;
+    for (const auto& header : shapes) {
+      std::vector<std::uint8_t> blob = header;
+      for (int i = 0; i < 96; ++i) {
+        blob.push_back(static_cast<std::uint8_t>((i * 37 + index * 11) & 0xFF));
+      }
+      WriteBlob(coder_dir / ("seed_" + std::to_string(index++) + ".bin"),
+                blob);
+    }
+  }
+  std::printf("corpus written under %s\n", out_dir.c_str());
+  return 0;
+}

@@ -1,0 +1,137 @@
+// Standalone driver for the fuzz/ harnesses on toolchains without libFuzzer
+// (gcc). Replays every corpus file through LLVMFuzzerTestOneInput, then runs
+// a bounded, fully deterministic mutation sweep over each seed: byte flips,
+// truncations, extensions, and chunk swaps driven by an xorshift PRNG seeded
+// from the file contents. No coverage feedback — this is a smoke lane, not a
+// replacement for a real libFuzzer run — but it keeps the harnesses honest
+// and catches shallow parser regressions in CI.
+//
+//   fuzz_archive_reader CORPUS_DIR [CORPUS_DIR...]
+//   GLSC_FUZZ_MUTATIONS=200   mutations per seed (default 200; 0 = replay only)
+//   GLSC_FUZZ_MAX_SECONDS=30  wall-clock budget (default 30; 0 = unbounded)
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+namespace {
+
+std::uint64_t g_rng_state = 0;
+
+std::uint64_t NextRand() {
+  // xorshift64: deterministic, seeded per input file.
+  g_rng_state ^= g_rng_state << 13;
+  g_rng_state ^= g_rng_state >> 7;
+  g_rng_state ^= g_rng_state << 17;
+  return g_rng_state;
+}
+
+std::vector<std::uint8_t> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<std::uint8_t>(std::istreambuf_iterator<char>(in),
+                                   std::istreambuf_iterator<char>());
+}
+
+void Mutate(std::vector<std::uint8_t>* bytes) {
+  if (bytes->empty()) {
+    bytes->push_back(static_cast<std::uint8_t>(NextRand()));
+    return;
+  }
+  switch (NextRand() % 5) {
+    case 0:  // flip one byte
+      (*bytes)[NextRand() % bytes->size()] ^=
+          static_cast<std::uint8_t>(1u << (NextRand() % 8));
+      break;
+    case 1:  // overwrite one byte
+      (*bytes)[NextRand() % bytes->size()] =
+          static_cast<std::uint8_t>(NextRand());
+      break;
+    case 2:  // truncate
+      bytes->resize(NextRand() % bytes->size());
+      break;
+    case 3: {  // extend with junk
+      const std::size_t extra = 1 + NextRand() % 16;
+      for (std::size_t i = 0; i < extra; ++i) {
+        bytes->push_back(static_cast<std::uint8_t>(NextRand()));
+      }
+      break;
+    }
+    case 4: {  // swap two chunks
+      const std::size_t a = NextRand() % bytes->size();
+      const std::size_t b = NextRand() % bytes->size();
+      std::swap((*bytes)[a], (*bytes)[b]);
+      break;
+    }
+  }
+}
+
+long EnvLong(const char* name, long fallback) {
+  const char* value = std::getenv(name);
+  return (value != nullptr && *value != '\0') ? std::atol(value) : fallback;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const long mutations = EnvLong("GLSC_FUZZ_MUTATIONS", 200);
+  const long budget_s = EnvLong("GLSC_FUZZ_MAX_SECONDS", 30);
+  const auto start = std::chrono::steady_clock::now();
+  const auto out_of_time = [&] {
+    if (budget_s <= 0) return false;
+    return std::chrono::steady_clock::now() - start >=
+           std::chrono::seconds(budget_s);
+  };
+
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::filesystem::path p(argv[i]);
+    if (std::filesystem::is_directory(p)) {
+      for (const auto& entry : std::filesystem::directory_iterator(p)) {
+        if (entry.is_regular_file()) files.push_back(entry.path().string());
+      }
+    } else if (std::filesystem::is_regular_file(p)) {
+      files.push_back(p.string());
+    }
+  }
+  if (files.empty()) {
+    std::fprintf(stderr, "usage: %s CORPUS_FILE_OR_DIR...\n", argv[0]);
+    return 2;
+  }
+
+  std::size_t executions = 0;
+  for (const auto& file : files) {
+    const std::vector<std::uint8_t> seed = ReadFile(file);
+    LLVMFuzzerTestOneInput(seed.data(), seed.size());
+    ++executions;
+
+    // Seed the PRNG from the contents (FNV-1a) so runs are reproducible and
+    // independent of corpus file ordering or names.
+    g_rng_state = 1469598103934665603ull;
+    for (const std::uint8_t b : seed) {
+      g_rng_state = (g_rng_state ^ b) * 1099511628211ull;
+    }
+    if (g_rng_state == 0) g_rng_state = 1;
+
+    std::vector<std::uint8_t> current = seed;
+    for (long m = 0; m < mutations && !out_of_time(); ++m) {
+      Mutate(&current);
+      LLVMFuzzerTestOneInput(current.data(), current.size());
+      ++executions;
+      // Restart from the seed periodically so mutations stay shallow enough
+      // to keep exercising the deeper parser stages, not just magic checks.
+      if (m % 16 == 15) current = seed;
+    }
+    if (out_of_time()) break;
+  }
+  std::printf("standalone fuzz: %zu executions over %zu seed(s), clean\n",
+              executions, files.size());
+  return 0;
+}

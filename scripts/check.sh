@@ -36,7 +36,8 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$JOBS" "$@"
 # would otherwise drop them silently).
 echo "== serve + workspace tests registered (native + _scalar) =="
 for t in serve_test serve_test_scalar workspace_test workspace_test_scalar \
-         shard_manager_test shard_manager_test_scalar; do
+         shard_manager_test shard_manager_test_scalar \
+         concurrency_stress_test concurrency_stress_test_scalar; do
   # grep reads to EOF (no -q): under `pipefail`, an early-exiting grep can
   # SIGPIPE ctest and turn a present registration into a spurious failure.
   if ! ctest --test-dir "$BUILD_DIR" -N -R "^${t}\$" | grep "${t}\$" > /dev/null; then
@@ -107,14 +108,40 @@ fi
 # list) builds a separate instrumented tree and runs the concurrency-heavy
 # serving suites under it. Off by default — the instrumented build roughly
 # doubles gate time — but cheap to request when touching serve/ or util/.
-if [[ -n "${CHECK_SANITIZE:-}" ]]; then
+# CHECK_SANITIZE=thread is special-cased onto the GLSC_TSAN option (TSan is
+# incompatible with ASan in one binary) and gets the stress suite plus the
+# documented libstdc++ suppressions (tsan.supp).
+if [[ "${CHECK_SANITIZE:-}" == "thread" ]]; then
+  TSAN_DIR="${BUILD_DIR}-tsan"
+  echo "== TSan lane (GLSC_TSAN=ON) =="
+  cmake -B "$TSAN_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DGLSC_TSAN=ON
+  cmake --build "$TSAN_DIR" -j"$JOBS" \
+      --target shard_manager_test serve_test concurrency_stress_test \
+               workspace_test util_test
+  TSAN_OPTIONS="halt_on_error=1 suppressions=$PWD/tsan.supp" \
+      ctest --test-dir "$TSAN_DIR" --output-on-failure -j"$JOBS" \
+      -R '^(shard_manager_test|serve_test|concurrency_stress_test|workspace_test|util_test)(_scalar)?$'
+elif [[ -n "${CHECK_SANITIZE:-}" ]]; then
   SAN_DIR="${BUILD_DIR}-sanitize"
   echo "== sanitizer lane (-fsanitize=$CHECK_SANITIZE) =="
   cmake -B "$SAN_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DGLSC_SANITIZE="$CHECK_SANITIZE"
-  cmake --build "$SAN_DIR" -j"$JOBS" --target shard_manager_test serve_test
+  cmake --build "$SAN_DIR" -j"$JOBS" \
+      --target shard_manager_test serve_test concurrency_stress_test
   ctest --test-dir "$SAN_DIR" --output-on-failure -j"$JOBS" \
-      -R '^(shard_manager_test|serve_test)(_scalar)?$'
+      -R '^(shard_manager_test|serve_test|concurrency_stress_test)(_scalar)?$'
+fi
+
+# Opt-in static-analysis lane: -Werror rebuild + (when clang is available)
+# thread-safety analysis and clang-tidy. See scripts/lint.sh.
+if [[ -n "${CHECK_LINT:-}" ]]; then
+  scripts/lint.sh
+fi
+
+# Opt-in fuzz smoke: bounded ASan/UBSan run of the fuzz/ harnesses over the
+# generated seed corpus. See scripts/fuzz_smoke.sh.
+if [[ -n "${CHECK_FUZZ:-}" ]]; then
+  scripts/fuzz_smoke.sh
 fi
 
 echo "== OK =="

@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Static-analysis gate, three legs:
+#
+#   1. gcc -Werror       — the whole tree (src/tests/bench/fuzz/examples) must
+#                          build warning-free under -Wall -Wextra. Always runs.
+#   2. clang thread-safety — rebuilds src/ with -Werror=thread-safety so the
+#                          GUARDED_BY/REQUIRES annotations in util/mutex.h are
+#                          ENFORCED, not decorative. Runs when clang++ exists;
+#                          skipped (loudly) otherwise — gcc parses the
+#                          annotation macros to nothing.
+#   3. clang-tidy        — .clang-tidy profile (bugprone/concurrency/
+#                          performance/init) over src/ via the compilation
+#                          database. Runs when clang-tidy exists.
+#
+# Usage:
+#   scripts/lint.sh
+#
+# Environment:
+#   BUILD_DIR   base build tree name (default: build; lint trees get suffixes)
+#   JOBS        build parallelism (default: nproc)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build}
+JOBS=${JOBS:-$(nproc)}
+failed=0
+
+echo "== lint leg 1: -Werror build (gcc/default compiler) =="
+WERROR_DIR="${BUILD_DIR}-lint"
+cmake -B "$WERROR_DIR" -S . -DCMAKE_BUILD_TYPE=Release -DGLSC_WERROR=ON \
+    -DGLSC_FUZZ=ON > /dev/null
+if ! cmake --build "$WERROR_DIR" -j"$JOBS"; then
+  echo "error: -Werror build failed" >&2
+  failed=1
+fi
+
+if command -v clang++ > /dev/null; then
+  echo "== lint leg 2: clang -Werror=thread-safety =="
+  TSA_DIR="${BUILD_DIR}-lint-tsa"
+  cmake -B "$TSA_DIR" -S . -DCMAKE_BUILD_TYPE=Release \
+      -DCMAKE_CXX_COMPILER=clang++ -DGLSC_WERROR_THREAD_SAFETY=ON > /dev/null
+  # The annotations all live in the core library; analyzing it is the gate.
+  if ! cmake --build "$TSA_DIR" -j"$JOBS" --target glsc_core; then
+    echo "error: thread-safety analysis failed" >&2
+    failed=1
+  fi
+else
+  echo "== lint leg 2 SKIPPED: no clang++ on PATH (thread-safety analysis" \
+       "needs clang; the annotations compile to no-ops under gcc) =="
+fi
+
+if command -v clang-tidy > /dev/null; then
+  echo "== lint leg 3: clang-tidy =="
+  # Leg 1's tree exports compile_commands.json (CMAKE_EXPORT_COMPILE_COMMANDS
+  # is on globally); tidy src/ against it.
+  mapfile -t sources < <(find src -name '*.cc' | sort)
+  if ! clang-tidy -p "$WERROR_DIR" --quiet "${sources[@]}"; then
+    echo "error: clang-tidy reported findings" >&2
+    failed=1
+  fi
+else
+  echo "== lint leg 3 SKIPPED: no clang-tidy on PATH =="
+fi
+
+if [[ $failed -ne 0 ]]; then
+  echo "== lint FAILED =="
+  exit 1
+fi
+echo "== lint OK =="

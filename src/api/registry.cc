@@ -1,18 +1,18 @@
 #include "api/compressor.h"
 
 #include <map>
-#include <mutex>
 
 #include "api/adapters.h"
 #include "core/registry.h"
+#include "util/mutex.h"
 #include "util/check.h"
 #include "util/logging.h"
 
 namespace glsc::api {
 namespace {
 
-std::mutex& RegistryMutex() {
-  static std::mutex mu;
+Mutex& RegistryMutex() {
+  static Mutex mu;
   return mu;
 }
 
@@ -42,13 +42,13 @@ void RegisterCompressor(const std::string& name, CompressorFactory factory) {
   // really does replace the built-in binding instead of being clobbered by
   // the lazy built-in registration later.
   EnsureBuiltins();
-  std::lock_guard<std::mutex> lock(RegistryMutex());
+  MutexLock lock(RegistryMutex());
   Registry()[name] = std::move(factory);
 }
 
 std::vector<std::string> RegisteredCompressors() {
   EnsureBuiltins();
-  std::lock_guard<std::mutex> lock(RegistryMutex());
+  MutexLock lock(RegistryMutex());
   std::vector<std::string> names;
   names.reserve(Registry().size());
   for (const auto& [name, factory] : Registry()) names.push_back(name);
@@ -60,7 +60,7 @@ std::unique_ptr<Compressor> Compressor::Create(const std::string& name,
   EnsureBuiltins();
   CompressorFactory factory;
   {
-    std::lock_guard<std::mutex> lock(RegistryMutex());
+    MutexLock lock(RegistryMutex());
     const auto it = Registry().find(name);
     if (it != Registry().end()) factory = it->second;
   }
@@ -85,6 +85,12 @@ std::unique_ptr<Compressor> GetOrTrainCodec(
   auto codec = Compressor::Create(name, options);
   if (codec->capabilities().model_free) return codec;
 
+  // Process-wide artifact-cache lock: two concurrent calls with the same tag
+  // would otherwise both miss the file check, train twice, and interleave
+  // their WriteFileBytes. Training dominates the hold time, which is exactly
+  // the point — the second caller waits and then loads the first one's model.
+  static Mutex artifact_mu;
+  MutexLock lock(artifact_mu);
   const std::string path = core::ArtifactPath(artifacts_dir, tag);
   if (!core::RetrainRequested() && FileExists(path)) {
     std::vector<std::uint8_t> bytes;

@@ -5,9 +5,9 @@
 #include <atomic>
 #include <cmath>
 #include <memory>
-#include <mutex>
 
 #include "util/check.h"
+#include "util/mutex.h"
 
 namespace glsc::codec {
 namespace {
@@ -91,17 +91,23 @@ GaussianConditionalModel::FreqTable GaussianConditionalModel::BuildTable(
 
 const GaussianConditionalModel::FreqTable&
 GaussianConditionalModel::CachedTable(int sigma_bin, int frac_bin) {
-  // Lock-free fast path over an atomic pointer per (sigma_bin, frac_bin)
-  // slot; builds are serialized by a mutex. Built tables are immutable and
-  // live for the process, so readers never see a partially-built table.
-  static std::array<std::atomic<const FreqTable*>, kSigmaBins * kFracBins>
-      slots{};
-  static std::mutex build_mutex;
-  auto& slot = slots[static_cast<std::size_t>(sigma_bin) * kFracBins +
-                     static_cast<std::size_t>(frac_bin)];
+  // Process-wide FreqTable cache: lock-free fast path over an atomic pointer
+  // per (sigma_bin, frac_bin) slot; builds are serialized by build_mu. Built
+  // tables are immutable and live for the process, so readers never see a
+  // partially-built table. The slots are deliberately NOT GUARDED_BY(build_mu):
+  // readers load them without the lock by design, and the acquire/release
+  // pair on the pointer is the synchronization — the mutex only keeps two
+  // writers from building (and leaking) the same table twice.
+  struct FreqTableCache {
+    Mutex build_mu;
+    std::array<std::atomic<const FreqTable*>, kSigmaBins * kFracBins> slots{};
+  };
+  static FreqTableCache cache;
+  auto& slot = cache.slots[static_cast<std::size_t>(sigma_bin) * kFracBins +
+                           static_cast<std::size_t>(frac_bin)];
   const FreqTable* table = slot.load(std::memory_order_acquire);
   if (table == nullptr) {
-    std::lock_guard<std::mutex> lock(build_mutex);
+    MutexLock lock(cache.build_mu);
     table = slot.load(std::memory_order_relaxed);
     if (table == nullptr) {
       table = new FreqTable(BuildTable(sigma_bin, frac_bin));

@@ -3,9 +3,9 @@
 #include <algorithm>
 #include <cstring>
 #include <fstream>
-#include <mutex>
 
 #include "util/check.h"
+#include "util/mutex.h"
 
 // Typed variant of GLSC_CHECK_MSG for archive validation: a failed condition
 // means hostile or damaged bytes, so it throws core::ArchiveError with the
@@ -61,6 +61,9 @@ class MemorySource final : public ArchiveReader::Source {
   void ReadAt(std::uint64_t offset, std::uint64_t length,
               std::uint8_t* dst) override {
     CheckRange(offset, length);
+    // Zero-length reads of an empty backing hand memcpy null pointers, which
+    // is UB even for n = 0 (fuzzer-found via UBSan).
+    if (length == 0) return;
     std::memcpy(dst, bytes_.data() + offset, static_cast<std::size_t>(length));
   }
 
@@ -83,7 +86,7 @@ class FileSource final : public ArchiveReader::Source {
     CheckRange(offset, length);
     // One shared stream: serialize seek+read so concurrent decode workers can
     // fetch payloads without interleaving positions.
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stream_.clear();
     stream_.seekg(static_cast<std::streamoff>(offset));
     stream_.read(reinterpret_cast<char*>(dst),
@@ -93,9 +96,11 @@ class FileSource final : public ArchiveReader::Source {
   }
 
  private:
-  std::ifstream stream_;
+  Mutex mu_;
+  // The shared seek position makes the stream the contended state; size_ is
+  // written once in the constructor and read-only afterwards.
+  std::ifstream stream_ GUARDED_BY(mu_);
   std::uint64_t size_ = 0;
-  std::mutex mu_;
 };
 
 }  // namespace

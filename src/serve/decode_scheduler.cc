@@ -25,7 +25,7 @@ DecodeScheduler::DecodeScheduler(const core::ArchiveReader* reader,
   worker_mu_.reserve(workers_.size());
   workspaces_.reserve(workers_.size());
   for (std::size_t i = 0; i < workers_.size(); ++i) {
-    worker_mu_.push_back(std::make_unique<std::mutex>());
+    worker_mu_.push_back(std::make_unique<Mutex>());
     workspaces_.push_back(std::make_unique<tensor::Workspace>());
   }
 }
@@ -51,7 +51,7 @@ std::vector<Tensor> DecodeScheduler::Fetch(
   // Positions whose record a concurrent query is already decoding.
   std::vector<std::pair<std::size_t, std::shared_ptr<Flight>>> waits;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (std::size_t i = 0; i < indices.size(); ++i) {
       const auto it = cache_.find(indices[i]);
       if (it != cache_.end()) {
@@ -96,7 +96,7 @@ std::vector<Tensor> DecodeScheduler::Fetch(
     // waiters unblock as soon as the batch holding their record finishes.
     const auto publish = [&](const std::size_t* positions_in_owned,
                              Tensor* recons, std::size_t n) {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       for (std::size_t j = 0; j < n; ++j) {
         const std::size_t oj = positions_in_owned[j];
         const std::size_t position = owned[oj];
@@ -113,7 +113,7 @@ std::vector<Tensor> DecodeScheduler::Fetch(
       }
       decoded_.fetch_add(static_cast<std::int64_t>(n),
                          std::memory_order_relaxed);
-      cv_.notify_all();
+      cv_.NotifyAll();
     };
 
     // Publishes one record's decode FAILURE: the flight carries the typed
@@ -121,7 +121,7 @@ std::vector<Tensor> DecodeScheduler::Fetch(
     // entry is dropped so later queries may retry the record fresh. Only the
     // queries needing this record see the failure.
     const auto publish_failure = [&](std::size_t oj, std::exception_ptr err) {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       errors[oj] = err;
       state[oj] = 2;
       const std::shared_ptr<Flight>& flight = owned_flights[oj];
@@ -132,7 +132,7 @@ std::vector<Tensor> DecodeScheduler::Fetch(
         inflight_.erase(fit);
       }
       failures_.fetch_add(1, std::memory_order_relaxed);
-      cv_.notify_all();
+      cv_.NotifyAll();
     };
 
     // Contiguous chunks of at most max_batch owned records; worker k decodes
@@ -162,7 +162,7 @@ std::vector<Tensor> DecodeScheduler::Fetch(
       // slots, and model instances are not thread-safe. Held only for the
       // decode itself (never across a pool or flight wait), so this cannot
       // deadlock.
-      std::lock_guard<std::mutex> lock(*worker_mu_[worker]);
+      MutexLock lock(*worker_mu_[worker]);
       tensor::Workspace* ws = workspaces_[worker].get();
 
       if (options_.max_batch <= 1 || n == 1) {
@@ -275,7 +275,7 @@ std::vector<Tensor> DecodeScheduler::Fetch(
       // erasing a successor flight: once a record is published and then
       // evicted, a new query may have opened a fresh flight for it under the
       // same key.
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       for (std::size_t j = 0; j < owned.size(); ++j) {
         const std::shared_ptr<Flight>& flight = owned_flights[j];
         if (flight->done || flight->aborted) continue;
@@ -285,7 +285,7 @@ std::vector<Tensor> DecodeScheduler::Fetch(
           inflight_.erase(fit);
         }
       }
-      cv_.notify_all();
+      cv_.NotifyAll();
       throw;
     }
 
@@ -294,7 +294,7 @@ std::vector<Tensor> DecodeScheduler::Fetch(
     // time) so waiters decode for themselves, then fail this call typed.
     bool skipped = false;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       for (std::size_t j = 0; j < owned.size(); ++j) {
         if (state[j] != 0) continue;
         skipped = true;
@@ -305,7 +305,7 @@ std::vector<Tensor> DecodeScheduler::Fetch(
           inflight_.erase(fit);
         }
       }
-      if (skipped) cv_.notify_all();
+      if (skipped) cv_.NotifyAll();
     }
     if (skipped && ctx != nullptr) ctx->Check();
 
@@ -321,39 +321,42 @@ std::vector<Tensor> DecodeScheduler::Fetch(
   // already published (or this call threw), so waiting here cannot deadlock:
   // the flights below belong to OTHER in-progress Fetch calls, which publish
   // or abort without needing anything from this one.
-  if (!waits.empty()) {
-    std::unique_lock<std::mutex> lock(mu_);
-    for (const auto& wait : waits) {
-      const std::size_t position = wait.first;
-      const std::shared_ptr<Flight>& flight = wait.second;
-      cv_.wait(lock, [&] { return flight->done || flight->aborted; });
+  for (const auto& wait : waits) {
+    const std::size_t position = wait.first;
+    const std::shared_ptr<Flight>& flight = wait.second;
+    bool decode_self = false;
+    {
+      MutexLock lock(mu_);
+      cv_.Wait(mu_, [&flight]() { return flight->done || flight->aborted; });
       if (flight->done) {
         // Served without running the decoder — counts as a cache hit.
         out[position] = flight->result;
         hits_.fetch_add(1, std::memory_order_relaxed);
-        continue;
-      }
-      if (flight->error != nullptr) {
+      } else if (flight->error != nullptr) {
         // The owner's decode of this record failed; the record would fail
         // for us identically (decode is deterministic), so propagate the
         // owner's typed error. Retry policy lives in the shard manager.
         std::rethrow_exception(flight->error);
+      } else {
+        decode_self = true;
       }
-      // The owner stopped before decoding (deadline/cancel/backstop); decode
-      // the record ourselves — unless this request is itself out of time.
-      // mu_ must be dropped before taking a worker lock (decoders take
-      // worker_mu_ then mu_ to publish — the reverse order would deadlock).
-      lock.unlock();
-      if (ctx != nullptr) ctx->Check();
-      const std::size_t record = indices[position];
-      Tensor recon;
-      {
-        std::lock_guard<std::mutex> wlock(*worker_mu_[0]);
-        recon = DecodeRecord(record, 0, workspaces_[0].get());
-      }
-      check_geometry(recon, record);
-      decoded_.fetch_add(1, std::memory_order_relaxed);
-      lock.lock();
+    }
+    if (!decode_self) continue;
+    // The owner stopped before decoding (deadline/cancel/backstop); decode
+    // the record ourselves — unless this request is itself out of time.
+    // mu_ was dropped above before taking a worker lock (decoders take
+    // worker_mu_ then mu_ to publish — the reverse order would deadlock).
+    if (ctx != nullptr) ctx->Check();
+    const std::size_t record = indices[position];
+    Tensor recon;
+    {
+      MutexLock wlock(*worker_mu_[0]);
+      recon = DecodeRecord(record, 0, workspaces_[0].get());
+    }
+    check_geometry(recon, record);
+    decoded_.fetch_add(1, std::memory_order_relaxed);
+    {
+      MutexLock lock(mu_);
       out[position] = std::move(recon);
       if (options_.cache_windows > 0) Insert(record, out[position]);
     }

@@ -32,12 +32,10 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <exception>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -45,6 +43,7 @@
 #include "core/archive_reader.h"
 #include "serve/fault_injector.h"
 #include "util/deadline.h"
+#include "util/mutex.h"
 
 namespace glsc::serve {
 
@@ -115,6 +114,11 @@ class DecodeScheduler {
   // decode itself failed — waiters rethrow the same typed error), or
   // `aborted` with no error (the owner stopped before decoding, e.g. its
   // deadline expired — waiters decode for themselves).
+  //
+  // Every field is written and read under the scheduler's mu_ (a nested
+  // struct cannot name the enclosing class's mutex in a GUARDED_BY, so the
+  // discipline is documented here and enforced by the mu_ annotations on the
+  // maps that hold Flights).
   struct Flight {
     bool done = false;
     bool aborted = false;
@@ -128,7 +132,7 @@ class DecodeScheduler {
   // concurrent queries via the in-flight table.
   std::vector<Tensor> Fetch(const std::vector<std::size_t>& indices,
                             const RequestContext* ctx);
-  void Insert(std::size_t record, const Tensor& decoded);  // mu_ held
+  void Insert(std::size_t record, const Tensor& decoded) REQUIRES(mu_);
 
   // One record decode on worker slot `worker` (its mutex already held),
   // injector hook included. Throws on failure.
@@ -146,21 +150,24 @@ class DecodeScheduler {
   // One lock per worker slot: concurrent Get() calls both fan out over the
   // same workers_ array, and codec instances are not thread-safe. Held per
   // record decode, never across a pool wait, so queries interleave on worker
-  // slots without deadlock.
-  std::vector<std::unique_ptr<std::mutex>> worker_mu_;
+  // slots without deadlock. Lock order: worker_mu_[k] is taken BEFORE mu_
+  // (decoders hold their slot while publishing); never take a worker lock
+  // while holding mu_.
+  std::vector<std::unique_ptr<Mutex>> worker_mu_;
 
-  std::mutex mu_;
+  Mutex mu_;
   // LRU over record indices: most recent at the front; cache_ maps a record
   // to its list node and decoded tensor.
-  std::list<std::size_t> lru_;
+  std::list<std::size_t> lru_ GUARDED_BY(mu_);
   std::unordered_map<std::size_t,
                      std::pair<std::list<std::size_t>::iterator, Tensor>>
-      cache_;
-  // Records currently being decoded by some in-progress Fetch (mu_ held).
-  // Entries are erased when their result is published; waiters keep the
-  // Flight alive through their shared_ptr.
-  std::unordered_map<std::size_t, std::shared_ptr<Flight>> inflight_;
-  std::condition_variable cv_;  // signaled on publish/abort, mu_ held
+      cache_ GUARDED_BY(mu_);
+  // Records currently being decoded by some in-progress Fetch. Entries are
+  // erased when their result is published; waiters keep the Flight alive
+  // through their shared_ptr.
+  std::unordered_map<std::size_t, std::shared_ptr<Flight>> inflight_
+      GUARDED_BY(mu_);
+  CondVar cv_;  // signaled on publish/abort, mu_ held
   std::atomic<std::int64_t> decoded_{0};
   std::atomic<std::int64_t> hits_{0};
   std::atomic<std::int64_t> failures_{0};

@@ -8,12 +8,12 @@ namespace glsc::serve {
 void FaultInjector::Arm(Kind kind, int count, std::int64_t record,
                         int slow_ms) {
   if (count <= 0) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   armed_.push_back({kind, count, record, slow_ms});
 }
 
 void FaultInjector::Disarm() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   armed_.clear();
 }
 
@@ -22,7 +22,7 @@ void FaultInjector::OnDecode(std::size_t record) {
   Kind kind;
   int slow_ms = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     std::size_t hit = armed_.size();
     for (std::size_t i = 0; i < armed_.size(); ++i) {
       if (armed_[i].record < 0 ||

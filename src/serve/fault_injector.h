@@ -12,9 +12,9 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
+#include "util/mutex.h"
 #include "util/status.h"
 
 namespace glsc::serve {
@@ -65,8 +65,8 @@ class FaultInjector {
     int slow_ms;
   };
 
-  std::mutex mu_;
-  std::vector<Armed> armed_;
+  Mutex mu_;
+  std::vector<Armed> armed_ GUARDED_BY(mu_);
   std::atomic<std::int64_t> transient_{0};
   std::atomic<std::int64_t> corrupt_{0};
   std::atomic<std::int64_t> slow_{0};

@@ -52,7 +52,7 @@ ShardManager::~ShardManager() { Shutdown(); }
 
 void ShardManager::Shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (shutdown_) return;
     shutdown_ = true;
   }
@@ -74,19 +74,19 @@ ShardManager::TenantState& ShardManager::TenantFor(const std::string& tenant) {
 
 void ShardManager::SetTenantLimits(const std::string& tenant,
                                    const TenantLimits& limits) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   TenantFor(tenant).limits = limits;
 }
 
 bool ShardManager::quarantined(std::size_t shard) const {
   GLSC_CHECK(shard < shards_.size());
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return shards_[shard].quarantined;
 }
 
 void ShardManager::ReviveShard(std::size_t shard) {
   GLSC_CHECK(shard < shards_.size());
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   shards_[shard].quarantined = false;
   shards_[shard].consecutive_failures = 0;
 }
@@ -101,7 +101,7 @@ Tensor ShardManager::Get(const GetRequest& request) {
           ? DecodedBytes(*shards_[request.shard].reader, request)
           : 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (shutdown_) {
       throw ServeError(ErrorCode::kShutdown, "shard manager is shut down");
     }
@@ -153,12 +153,18 @@ Tensor ShardManager::Get(const GetRequest& request) {
 
   auto job = std::make_shared<Job>();
   job->request = request;
+  // Count the admission BEFORE the job becomes visible to workers: once
+  // pushed, a worker may pop, execute, and bump completed_ ahead of this
+  // caller's next instruction, and a Stats() snapshot taken in that window
+  // would see completed > admitted. The shed branch below compensates.
+  admitted_.fetch_add(1, std::memory_order_relaxed);
   if (!queue_->TryPush(job)) {
+    admitted_.fetch_add(-1, std::memory_order_relaxed);
     // Reject-newest load shedding: un-charge the tenant and fail typed,
     // immediately. (A closed queue means a racing Shutdown — report that.)
     bool was_shutdown;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       TenantState& tenant = TenantFor(request.tenant);
       tenant.in_flight -= 1;
       tenant.decoded_bytes -= bytes;
@@ -172,13 +178,13 @@ Tensor ShardManager::Get(const GetRequest& request) {
     os << "request queue full (" << queue_->capacity() << "); shedding load";
     throw ServeError(ErrorCode::kQueueFull, os.str());
   }
-  admitted_.fetch_add(1, std::memory_order_relaxed);
 
   // ---- Rendezvous: block on THIS job only. Workers always drive every
   // admitted job to finished=true (Execute never throws and Shutdown drains
   // the backlog), so this wait cannot hang.
-  std::unique_lock<std::mutex> lock(job->mu);
-  job->cv.wait(lock, [&] { return job->finished; });
+  MutexLock lock(job->mu);
+  job->cv.Wait(job->mu,
+               [&job]() REQUIRES(job->mu) { return job->finished; });
   if (job->error != nullptr) std::rethrow_exception(job->error);
   return std::move(job->result);
 }
@@ -205,7 +211,7 @@ void ShardManager::Execute(Job* job) {
     ctx.Check();
     // Quarantine may have tripped while this job was queued; honor it.
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (shard.quarantined) {
         rejected_quarantine_.fetch_add(1, std::memory_order_relaxed);
         throw ServeError(ErrorCode::kQuarantined,
@@ -260,7 +266,7 @@ void ShardManager::Execute(Job* job) {
   // Circuit breaker: consecutive shard faults trip quarantine; any success
   // resets the streak.
   if (options_.quarantine_threshold > 0) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (error == nullptr) {
       shard.consecutive_failures = 0;
     } else if (shard_fault) {
@@ -274,17 +280,17 @@ void ShardManager::Execute(Job* job) {
   FinishJob(*job, error == nullptr);
 
   {
-    std::lock_guard<std::mutex> lock(job->mu);
+    MutexLock lock(job->mu);
     job->result = std::move(result);
     job->error = error;
     job->finished = true;
   }
-  job->cv.notify_all();
+  job->cv.NotifyAll();
 }
 
 void ShardManager::FinishJob(const Job& job, bool ok) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     TenantState& tenant = TenantFor(job.request.tenant);
     tenant.in_flight -= 1;
     if (!ok) {
@@ -293,18 +299,31 @@ void ShardManager::FinishJob(const Job& job, bool ok) {
           DecodedBytes(*shards_[job.request.shard].reader, job.request);
     }
   }
+  // Release so that Stats()'s acquire-load of an outcome counter also
+  // publishes this job's earlier admitted_ increment (see Stats() for the
+  // snapshot-ordering argument).
   if (ok) {
-    completed_.fetch_add(1, std::memory_order_relaxed);
+    completed_.fetch_add(1, std::memory_order_release);
   } else {
-    failed_.fetch_add(1, std::memory_order_relaxed);
+    failed_.fetch_add(1, std::memory_order_release);
   }
 }
 
 ServeStats ShardManager::Stats() const {
   ServeStats stats;
+  // Snapshot ordering: a job's admitted_ increment happens-before its
+  // completed_/failed_ increment (admission is sequenced before the queue
+  // push, and the queue's mutex orders the push before the worker's
+  // execution). Reading the OUTCOME counters first with acquire therefore
+  // guarantees the subsequent admitted_ read covers every job counted in
+  // them, so the documented invariant admitted >= completed + failed holds
+  // in every snapshot — not just at quiescence. (Reading admitted first
+  // would leave a window where other threads admit AND finish jobs between
+  // the two loads, inflating the outcome side; the stress test caught
+  // exactly that skew.)
+  stats.completed = completed_.load(std::memory_order_acquire);
+  stats.failed = failed_.load(std::memory_order_acquire);
   stats.admitted = admitted_.load(std::memory_order_relaxed);
-  stats.completed = completed_.load(std::memory_order_relaxed);
-  stats.failed = failed_.load(std::memory_order_relaxed);
   stats.shed_queue_full = shed_queue_full_.load(std::memory_order_relaxed);
   stats.rejected_tenant_limit =
       rejected_tenant_limit_.load(std::memory_order_relaxed);
@@ -323,7 +342,7 @@ ServeStats ShardManager::Stats() const {
   stats.queue_depth = queue_->size();
   stats.shard_quarantined.reserve(shards_.size());
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (const Shard& shard : shards_) {
       stats.shard_quarantined.push_back(shard.quarantined);
     }

@@ -38,10 +38,8 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -50,6 +48,7 @@
 #include "serve/decode_scheduler.h"
 #include "serve/request_queue.h"
 #include "util/deadline.h"
+#include "util/mutex.h"
 #include "util/status.h"
 
 namespace glsc::serve {
@@ -172,6 +171,9 @@ class ShardManager {
   void Shutdown();
 
  private:
+  // The mutable Shard/TenantState fields are all protected by the manager's
+  // mu_ (a nested struct cannot name the enclosing class's mutex in a
+  // GUARDED_BY; the containers holding them are annotated instead).
   struct Shard {
     const core::ArchiveReader* reader;
     std::unique_ptr<DecodeScheduler> scheduler;
@@ -179,7 +181,7 @@ class ShardManager {
     bool quarantined = false;      // under mu_
   };
   struct TenantState {
-    TenantLimits limits;
+    TenantLimits limits;             // under mu_
     std::int64_t in_flight = 0;      // under mu_
     std::int64_t decoded_bytes = 0;  // under mu_
   };
@@ -187,11 +189,11 @@ class ShardManager {
   // and the worker that executes it.
   struct Job {
     GetRequest request;
-    std::mutex mu;
-    std::condition_variable cv;
-    bool finished = false;
-    Tensor result;
-    std::exception_ptr error;
+    Mutex mu;
+    CondVar cv;
+    bool finished GUARDED_BY(mu) = false;
+    Tensor result GUARDED_BY(mu);
+    std::exception_ptr error GUARDED_BY(mu);
   };
 
   void WorkerLoop();
@@ -199,17 +201,19 @@ class ShardManager {
   // quarantine bookkeeping. Fills job->result or job->error; never throws.
   void Execute(Job* job);
   // Post-admission bookkeeping when a job reaches a terminal state.
-  void FinishJob(const Job& job, bool ok);
-  TenantState& TenantFor(const std::string& tenant);  // mu_ held
+  void FinishJob(const Job& job, bool ok) EXCLUDES(mu_);
+  TenantState& TenantFor(const std::string& tenant) REQUIRES(mu_);
 
+  // shards_ itself (size, readers, scheduler pointers) is immutable after
+  // construction; only the quarantine fields inside each Shard are under mu_.
   std::vector<Shard> shards_;
   ManagerOptions options_;
   std::unique_ptr<RequestQueue<std::shared_ptr<Job>>> queue_;
   std::vector<std::thread> workers_;
 
-  mutable std::mutex mu_;  // tenants, quarantine state, shutdown flag
-  std::unordered_map<std::string, TenantState> tenants_;
-  bool shutdown_ = false;
+  mutable Mutex mu_;  // tenants, quarantine state, shutdown flag
+  std::unordered_map<std::string, TenantState> tenants_ GUARDED_BY(mu_);
+  bool shutdown_ GUARDED_BY(mu_) = false;
 
   std::atomic<std::int64_t> admitted_{0};
   std::atomic<std::int64_t> completed_{0};

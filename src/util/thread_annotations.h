@@ -1,0 +1,61 @@
+// Clang thread-safety analysis attribute shim.
+//
+// These macros let lock-protected structures document their locking
+// discipline in a form the compiler can CHECK: under clang, building with
+// -Wthread-safety (scripts/lint.sh promotes it to -Werror=thread-safety)
+// rejects any access to a GUARDED_BY member without its mutex held, any call
+// to a REQUIRES function without the capability, and any mismatched
+// ACQUIRE/RELEASE pairing — lock-discipline violations fail the build instead
+// of racing in production. Under every other compiler the macros expand to
+// nothing, so the annotations cost zero and the code stays portable.
+//
+// The annotations only bind to capability-annotated types: std::mutex carries
+// none (libstdc++), so the codebase locks through util::Mutex / util::MutexLock
+// / util::CondVar (util/mutex.h), which wrap std::mutex with the attributes
+// the analysis needs. Annotate new code by (1) declaring the mutex as
+// util::Mutex, (2) tagging each protected member `GUARDED_BY(mu_)`, and
+// (3) tagging private helpers that expect the lock held `REQUIRES(mu_)`.
+// See docs/HARDENING.md for the workflow and how to run the lint lane.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#define GLSC_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define GLSC_THREAD_ANNOTATION(x)  // no-op outside clang
+#endif
+
+// Type attributes: a capability (mutex-like) type and an RAII lock whose
+// lifetime acquires/releases one.
+#define CAPABILITY(x) GLSC_THREAD_ANNOTATION(capability(x))
+#define SCOPED_CAPABILITY GLSC_THREAD_ANNOTATION(scoped_lockable)
+
+// Data members: protected by a mutex (the member itself / the pointee).
+#define GUARDED_BY(x) GLSC_THREAD_ANNOTATION(guarded_by(x))
+#define PT_GUARDED_BY(x) GLSC_THREAD_ANNOTATION(pt_guarded_by(x))
+
+// Lock ordering documentation (checked when both mutexes are annotated).
+#define ACQUIRED_BEFORE(...) GLSC_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) GLSC_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+// Function attributes: the caller must hold / must not hold the capability;
+// the function acquires / releases it; try-lock semantics.
+#define REQUIRES(...) GLSC_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  GLSC_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+#define ACQUIRE(...) GLSC_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  GLSC_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define RELEASE(...) GLSC_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  GLSC_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define TRY_ACQUIRE(...) \
+  GLSC_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define EXCLUDES(...) GLSC_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define ASSERT_CAPABILITY(x) GLSC_THREAD_ANNOTATION(assert_capability(x))
+#define RETURN_CAPABILITY(x) GLSC_THREAD_ANNOTATION(lock_returned(x))
+
+// Escape hatch for functions whose locking is correct but inexpressible
+// (per-element lock arrays, lock/unlock split across scopes). Use sparingly
+// and leave a comment saying WHY the analysis cannot follow.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  GLSC_THREAD_ANNOTATION(no_thread_safety_analysis)

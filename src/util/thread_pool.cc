@@ -24,10 +24,10 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (auto& w : workers_) w.join();
 }
 
@@ -38,8 +38,8 @@ void ThreadPool::WorkerLoop() {
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      cv_.Wait(mu_, [this]() REQUIRES(mu_) { return stop_ || !queue_.empty(); });
       if (stop_ && queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop();

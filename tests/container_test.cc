@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <filesystem>
 
+#include "core/archive_reader.h"
 #include "core/container.h"
 #include "core/registry.h"
 #include "tensor/metrics.h"
@@ -156,6 +157,28 @@ TEST(Container, TruncatedArchiveThrowsInsteadOfCrashing) {
                                         bytes.begin() + static_cast<std::ptrdiff_t>(len));
     EXPECT_THROW(DatasetArchive::Deserialize(cut), std::runtime_error)
         << "length " << len;
+  }
+}
+
+TEST(Container, EmptyAndTinyInputsThrowTyped) {
+  // Fuzzer-found (UBSan): a zero-byte input used to reach MemorySource with
+  // a null backing pointer and hand memcpy null arguments. Empty and
+  // sub-magic-sized inputs must raise a typed ArchiveError through both
+  // entry points, never touch memory.
+  for (std::size_t len : {std::size_t{0}, std::size_t{1}, std::size_t{3},
+                          std::size_t{4}, std::size_t{5}}) {
+    const std::vector<std::uint8_t> bytes(len, 'G');
+    EXPECT_THROW(DatasetArchive::Deserialize(bytes), std::runtime_error)
+        << "Deserialize, length " << len;
+    std::vector<std::uint8_t> copy = bytes;
+    try {
+      ArchiveReader::FromBytes(std::move(copy));
+      FAIL() << "FromBytes accepted a " << len << "-byte archive";
+    } catch (const ArchiveError& e) {
+      EXPECT_TRUE(e.fault() == ArchiveFault::kNotAnArchive ||
+                  e.fault() == ArchiveFault::kTruncated)
+          << "length " << len;
+    }
   }
 }
 

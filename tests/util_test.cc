@@ -97,7 +97,9 @@ TEST_P(VarintTest, RoundTrip) {
   if (v >= 0) w.PutVarU64(static_cast<std::uint64_t>(v));
   ByteReader r(w.bytes());
   EXPECT_EQ(r.GetVarI64(), v);
-  if (v >= 0) EXPECT_EQ(r.GetVarU64(), static_cast<std::uint64_t>(v));
+  if (v >= 0) {
+    EXPECT_EQ(r.GetVarU64(), static_cast<std::uint64_t>(v));
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(
