@@ -10,9 +10,11 @@
 #include <vector>
 
 #include "core/container.h"
+#include "fuzz_entry_points.h"
 
-extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
-                                      std::size_t size) {
+namespace glsc::fuzz {
+
+int FuzzArchiveDeserialize(const std::uint8_t* data, std::size_t size) {
   std::vector<std::uint8_t> bytes(data, data + size);
   try {
     const auto archive = glsc::core::DatasetArchive::Deserialize(bytes);
@@ -33,3 +35,12 @@ extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
   }
   return 0;
 }
+
+}  // namespace glsc::fuzz
+
+#ifndef GLSC_FUZZ_REGRESSION_TU
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  return glsc::fuzz::FuzzArchiveDeserialize(data, size);
+}
+#endif

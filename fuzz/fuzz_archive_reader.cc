@@ -12,9 +12,11 @@
 #include <vector>
 
 #include "core/archive_reader.h"
+#include "fuzz_entry_points.h"
 
-extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
-                                      std::size_t size) {
+namespace glsc::fuzz {
+
+int FuzzArchiveReader(const std::uint8_t* data, std::size_t size) {
   std::vector<std::uint8_t> bytes(data, data + size);
   try {
     const auto reader = glsc::core::ArchiveReader::FromBytes(std::move(bytes));
@@ -37,3 +39,12 @@ extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
   }
   return 0;
 }
+
+}  // namespace glsc::fuzz
+
+#ifndef GLSC_FUZZ_REGRESSION_TU
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  return glsc::fuzz::FuzzArchiveReader(data, size);
+}
+#endif

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "codec/range_coder.h"
+#include "fuzz_entry_points.h"
 
 namespace {
 
@@ -36,8 +37,9 @@ void Require(bool ok, const char* what) {
 
 }  // namespace
 
-extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
-                                      std::size_t size) {
+namespace glsc::fuzz {
+
+int FuzzRangeCoder(const std::uint8_t* data, std::size_t size) {
   if (size < 4) return 0;
 
   // --- Derive a valid table from the prefix. ---
@@ -114,3 +116,12 @@ extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
   }
   return 0;
 }
+
+}  // namespace glsc::fuzz
+
+#ifndef GLSC_FUZZ_REGRESSION_TU
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  return glsc::fuzz::FuzzRangeCoder(data, size);
+}
+#endif

@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# gcc -fanalyzer lane: interprocedural path-sensitive static analysis of the
+# core library, no clang required.
+#
+# A dedicated build tree compiles src/ with GLSC_ANALYZE=ON (-fanalyzer). The
+# analyzer's diagnostics are normalized to stable `file|warning-id` pairs
+# (line numbers churn with every unrelated edit) and diffed against the
+# triaged baseline in tools/fanalyzer_baseline.txt:
+#
+#   - a finding NOT in the baseline fails the lane (new bug or new FP — either
+#     way a human must look and either fix it or triage it into the baseline
+#     with a justification comment);
+#   - a baseline entry with no matching finding fails the lane (stale
+#     suppressions cannot outlive the code they excused).
+#
+# Regenerate the raw findings list for re-triage with:
+#   scripts/analyze.sh --print-findings
+#
+# Environment:
+#   BUILD_DIR   base build tree name (default: build; this lane appends
+#               -analyze)
+#   JOBS        build parallelism (default: nproc)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build}
+JOBS=${JOBS:-$(nproc)}
+ANALYZE_DIR="${BUILD_DIR}-analyze"
+BASELINE=tools/fanalyzer_baseline.txt
+
+echo "== gcc -fanalyzer lane (GLSC_ANALYZE=ON) =="
+cmake -B "$ANALYZE_DIR" -S . -DCMAKE_BUILD_TYPE=Release -DGLSC_ANALYZE=ON \
+    > /dev/null
+
+log="$ANALYZE_DIR/fanalyzer.log"
+# Only the core library: that is where the analysis has interprocedural bite,
+# and it keeps the lane's wall-clock bounded (the analyzer costs seconds per
+# TU). Force a fresh compile so findings are never dropped by a warm cache.
+cmake --build "$ANALYZE_DIR" --target clean > /dev/null
+if ! cmake --build "$ANALYZE_DIR" -j"$JOBS" --target glsc_core 2> "$log"; then
+  cat "$log" >&2
+  echo "error: -fanalyzer build failed" >&2
+  exit 1
+fi
+
+# Normalize: keep the headline line of each diagnostic, strip the absolute
+# prefix and position, keep `relative-file|-Wanalyzer-id`. Location-less
+# summary lines ("cc1plus: ...") carry no triage value and are dropped.
+found="$ANALYZE_DIR/fanalyzer.found"
+sed -nE 's|^('"$PWD"'/)?([^ :]+):[0-9]+:[0-9]+: warning: .*\[(-Wanalyzer-[a-z0-9-]+)\]$|\2\|\3|p' \
+    "$log" | sort -u > "$found"
+
+if [[ "${1:-}" == "--print-findings" ]]; then
+  cat "$found"
+fi
+
+expected="$ANALYZE_DIR/fanalyzer.expected"
+grep -vE '^\s*(#|$)' "$BASELINE" | sort -u > "$expected"
+
+failed=0
+if ! comm -23 "$found" "$expected" | grep .; then
+  :
+else
+  echo "error: NEW -fanalyzer findings (above). Fix them, or if triaged as" \
+       "false positives add them to $BASELINE with a justification." >&2
+  failed=1
+fi
+if ! comm -13 "$found" "$expected" | grep .; then
+  :
+else
+  echo "error: STALE baseline entries (above) no longer reported by the" \
+       "analyzer. Delete them from $BASELINE." >&2
+  failed=1
+fi
+
+if [[ $failed -ne 0 ]]; then
+  echo "== analyze FAILED =="
+  exit 1
+fi
+echo "== analyze OK ($(wc -l < "$found") known findings, all baselined) =="

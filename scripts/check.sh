@@ -30,6 +30,14 @@ cmake --build "$BUILD_DIR" -j"$JOBS"
 echo "== test =="
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$JOBS" "$@"
 
+# The project invariant linter always gates — it is a sub-second token scan
+# and the invariants it enforces (no raw sync primitives outside
+# util/mutex.h, dual native+_scalar test registration, no <iostream> in
+# headers, no naked new/delete in src/) rot silently the moment they stop
+# being checked. Sanctioned exceptions live in tools/lint_allowlist.txt.
+echo "== glsc_lint =="
+"$BUILD_DIR/glsc_lint" .
+
 # The serve and workspace suites guard the random-access read path and the
 # zero-allocation decode path; make sure the glob actually registered them
 # under BOTH dispatch registrations (a stale build tree or a renamed file
@@ -37,7 +45,11 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$JOBS" "$@"
 echo "== serve + workspace tests registered (native + _scalar) =="
 for t in serve_test serve_test_scalar workspace_test workspace_test_scalar \
          shard_manager_test shard_manager_test_scalar \
-         concurrency_stress_test concurrency_stress_test_scalar; do
+         concurrency_stress_test concurrency_stress_test_scalar \
+         fuzz_regression_test fuzz_regression_test_scalar \
+         glsc_lint_test glsc_lint_test_scalar \
+         lock_checker_test lock_checker_test_scalar \
+         arena_debug_test arena_debug_test_scalar; do
   # grep reads to EOF (no -q): under `pipefail`, an early-exiting grep can
   # SIGPIPE ctest and turn a present registration into a spurious failure.
   if ! ctest --test-dir "$BUILD_DIR" -N -R "^${t}\$" | grep "${t}\$" > /dev/null; then
@@ -104,13 +116,22 @@ if [[ $bad -ne 0 ]]; then
   exit 1
 fi
 
-# Opt-in sanitizer lane: CHECK_SANITIZE=address,undefined (any -fsanitize=
-# list) builds a separate instrumented tree and runs the concurrency-heavy
-# serving suites under it. Off by default — the instrumented build roughly
-# doubles gate time — but cheap to request when touching serve/ or util/.
+# Opt-in lanes. A lane requested via env var must RUN or FAIL the gate —
+# never skip: the CMake configure step behind each lane probes its toolchain
+# requirement (check_cxx_compiler_flag) and raises FATAL_ERROR when the
+# compiler cannot honor it, which aborts this script under `set -e`. CI can
+# therefore trust that a green CHECK_SANITIZE/CHECK_ANALYZE/CHECK_DEBUG run
+# actually executed the instrumented tree, rather than silently no-opping on
+# a toolchain that lacks the support.
+#
+# Sanitizer lane: CHECK_SANITIZE=address,undefined (any -fsanitize= list)
+# builds a separate instrumented tree and runs the concurrency-heavy serving
+# suites under it. Off by default — the instrumented build roughly doubles
+# gate time — but cheap to request when touching serve/ or util/.
 # CHECK_SANITIZE=thread is special-cased onto the GLSC_TSAN option (TSan is
 # incompatible with ASan in one binary) and gets the stress suite plus the
-# documented libstdc++ suppressions (tsan.supp).
+# documented libstdc++ suppressions (tsan.supp). Both trees default the
+# GLSC_DEBUG_LOCKS/GLSC_DEBUG_ARENA runtime checkers ON (see CMakeLists).
 if [[ "${CHECK_SANITIZE:-}" == "thread" ]]; then
   TSAN_DIR="${BUILD_DIR}-tsan"
   echo "== TSan lane (GLSC_TSAN=ON) =="
@@ -132,10 +153,46 @@ elif [[ -n "${CHECK_SANITIZE:-}" ]]; then
       -R '^(shard_manager_test|serve_test|concurrency_stress_test)(_scalar)?$'
 fi
 
-# Opt-in static-analysis lane: -Werror rebuild + (when clang is available)
-# thread-safety analysis and clang-tidy. See scripts/lint.sh.
+# Opt-in debug-checker lane: CHECK_DEBUG=1 builds a RelWithDebInfo tree with
+# the runtime lock-order checker (GLSC_DEBUG_LOCKS) and arena borrow
+# validation (GLSC_DEBUG_ARENA) force-enabled, then runs the FULL suite plus
+# the bench gates under them. This is the gcc-toolchain counterpart of the
+# clang thread-safety leg: the lock discipline and borrow lifetimes are
+# enforced at runtime instead of compile time.
+if [[ -n "${CHECK_DEBUG:-}" ]]; then
+  DEBUG_DIR="${BUILD_DIR}-debug"
+  echo "== debug-checker lane (GLSC_DEBUG_LOCKS=ON GLSC_DEBUG_ARENA=ON) =="
+  cmake -B "$DEBUG_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DGLSC_DEBUG_LOCKS=ON -DGLSC_DEBUG_ARENA=ON
+  cmake --build "$DEBUG_DIR" -j"$JOBS"
+  ctest --test-dir "$DEBUG_DIR" --output-on-failure -j"$JOBS"
+  "$DEBUG_DIR/bench_e2e_decode" --codec=sz --frames=48 --variables=1 \
+      --json="$DEBUG_DIR/BENCH_e2e.json"
+  "$DEBUG_DIR/bench_serve" --json="$DEBUG_DIR/BENCH_serve.json"
+  for f in "$DEBUG_DIR/BENCH_e2e.json" "$DEBUG_DIR/BENCH_serve.json"; do
+    if [[ ! -s "$f" ]]; then
+      echo "error: $f missing or empty" >&2
+      exit 1
+    fi
+    if grep -nE '(^|[^A-Za-z_])-?(inf|nan)([^A-Za-z_]|$)' "$f"; then
+      echo "error: non-finite value in $f" >&2
+      exit 1
+    fi
+  done
+fi
+
+# Opt-in static-analysis lane: the project linter, a -Werror rebuild and
+# (when clang is available) thread-safety analysis and clang-tidy, with an
+# end-of-run ran/skipped summary. See scripts/lint.sh.
 if [[ -n "${CHECK_LINT:-}" ]]; then
   scripts/lint.sh
+fi
+
+# Opt-in gcc -fanalyzer lane: interprocedural static analysis of src/ against
+# the triaged baseline in tools/fanalyzer_baseline.txt — new findings fail,
+# stale baseline entries fail. See scripts/analyze.sh.
+if [[ -n "${CHECK_ANALYZE:-}" ]]; then
+  scripts/analyze.sh
 fi
 
 # Opt-in fuzz smoke: bounded ASan/UBSan run of the fuzz/ harnesses over the

@@ -1,16 +1,29 @@
 #!/usr/bin/env bash
-# Static-analysis gate, three legs:
+# Static-analysis gate, four legs:
 #
-#   1. gcc -Werror       — the whole tree (src/tests/bench/fuzz/examples) must
-#                          build warning-free under -Wall -Wextra. Always runs.
-#   2. clang thread-safety — rebuilds src/ with -Werror=thread-safety so the
-#                          GUARDED_BY/REQUIRES annotations in util/mutex.h are
-#                          ENFORCED, not decorative. Runs when clang++ exists;
-#                          skipped (loudly) otherwise — gcc parses the
-#                          annotation macros to nothing.
-#   3. clang-tidy        — .clang-tidy profile (bugprone/concurrency/
-#                          performance/init) over src/ via the compilation
-#                          database. Runs when clang-tidy exists.
+#   1. glsc_lint          — the project's own invariant linter (tools/
+#                           glsc_lint.cc): raw sync primitives outside
+#                           util/mutex.h, missing native+_scalar test
+#                           registrations, <iostream> in headers, naked
+#                           new/delete in src/, stale allowlist entries.
+#                           Always runs (tools/lint_allowlist.txt holds the
+#                           sanctioned exceptions).
+#   2. gcc -Werror        — the whole tree (src/tests/bench/fuzz/examples)
+#                           must build warning-free under -Wall -Wextra.
+#                           Always runs.
+#   3. clang thread-safety — rebuilds src/ with -Werror=thread-safety so the
+#                           GUARDED_BY/REQUIRES annotations in util/mutex.h
+#                           are ENFORCED, not decorative. Runs when clang++
+#                           exists; skipped (loudly) otherwise — gcc parses
+#                           the annotation macros to nothing. The runtime
+#                           half of the same invariants (GLSC_DEBUG_LOCKS)
+#                           runs under plain gcc via CHECK_DEBUG=1.
+#   4. clang-tidy         — .clang-tidy profile (bugprone/concurrency/
+#                           performance/init) over src/ via the compilation
+#                           database. Runs when clang-tidy exists.
+#
+# Every leg reports into the end-of-run summary as ran or SKIPPED, so a
+# toolchain without clang cannot silently green-light the clang legs.
 #
 # Usage:
 #   scripts/lint.sh
@@ -24,18 +37,30 @@ cd "$(dirname "$0")/.."
 BUILD_DIR=${BUILD_DIR:-build}
 JOBS=${JOBS:-$(nproc)}
 failed=0
+legs_ran=()
+legs_skipped=()
 
-echo "== lint leg 1: -Werror build (gcc/default compiler) =="
+echo "== lint leg 1: glsc_lint (project invariants) =="
 WERROR_DIR="${BUILD_DIR}-lint"
 cmake -B "$WERROR_DIR" -S . -DCMAKE_BUILD_TYPE=Release -DGLSC_WERROR=ON \
     -DGLSC_FUZZ=ON > /dev/null
+cmake --build "$WERROR_DIR" -j"$JOBS" --target glsc_lint > /dev/null
+if ! "$WERROR_DIR/glsc_lint" .; then
+  echo "error: glsc_lint reported violations (sanctioned exceptions go in" \
+       "tools/lint_allowlist.txt with a justification)" >&2
+  failed=1
+fi
+legs_ran+=("glsc_lint")
+
+echo "== lint leg 2: -Werror build (gcc/default compiler) =="
 if ! cmake --build "$WERROR_DIR" -j"$JOBS"; then
   echo "error: -Werror build failed" >&2
   failed=1
 fi
+legs_ran+=("gcc -Werror")
 
 if command -v clang++ > /dev/null; then
-  echo "== lint leg 2: clang -Werror=thread-safety =="
+  echo "== lint leg 3: clang -Werror=thread-safety =="
   TSA_DIR="${BUILD_DIR}-lint-tsa"
   cmake -B "$TSA_DIR" -S . -DCMAKE_BUILD_TYPE=Release \
       -DCMAKE_CXX_COMPILER=clang++ -DGLSC_WERROR_THREAD_SAFETY=ON > /dev/null
@@ -44,26 +69,38 @@ if command -v clang++ > /dev/null; then
     echo "error: thread-safety analysis failed" >&2
     failed=1
   fi
+  legs_ran+=("clang thread-safety")
 else
-  echo "== lint leg 2 SKIPPED: no clang++ on PATH (thread-safety analysis" \
+  echo "== lint leg 3 SKIPPED: no clang++ on PATH (thread-safety analysis" \
        "needs clang; the annotations compile to no-ops under gcc) =="
+  legs_skipped+=("clang thread-safety (no clang++; runtime equivalent: CHECK_DEBUG=1)")
 fi
 
 if command -v clang-tidy > /dev/null; then
-  echo "== lint leg 3: clang-tidy =="
-  # Leg 1's tree exports compile_commands.json (CMAKE_EXPORT_COMPILE_COMMANDS
+  echo "== lint leg 4: clang-tidy =="
+  # Leg 2's tree exports compile_commands.json (CMAKE_EXPORT_COMPILE_COMMANDS
   # is on globally); tidy src/ against it.
   mapfile -t sources < <(find src -name '*.cc' | sort)
   if ! clang-tidy -p "$WERROR_DIR" --quiet "${sources[@]}"; then
     echo "error: clang-tidy reported findings" >&2
     failed=1
   fi
+  legs_ran+=("clang-tidy")
 else
-  echo "== lint leg 3 SKIPPED: no clang-tidy on PATH =="
+  echo "== lint leg 4 SKIPPED: no clang-tidy on PATH =="
+  legs_skipped+=("clang-tidy (no clang-tidy on PATH)")
 fi
+
+echo "== lint summary =="
+for leg in "${legs_ran[@]}"; do
+  echo "   ran:     $leg"
+done
+for leg in "${legs_skipped[@]}"; do
+  echo "   SKIPPED: $leg"
+done
 
 if [[ $failed -ne 0 ]]; then
   echo "== lint FAILED =="
   exit 1
 fi
-echo "== lint OK =="
+echo "== lint OK (${#legs_ran[@]} legs ran, ${#legs_skipped[@]} skipped) =="

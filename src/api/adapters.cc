@@ -463,22 +463,22 @@ std::unique_ptr<Compressor> VaeSrAdapter::Clone() {
 
 void RegisterBuiltinCodecs() {
   RegisterCompressor("glsc", [](const CodecOptions& o) {
-    return std::unique_ptr<Compressor>(new GlscAdapter(o));
+    return std::make_unique<GlscAdapter>(o);
   });
   RegisterCompressor("sz", [](const CodecOptions& o) {
-    return std::unique_ptr<Compressor>(new SzAdapter(o));
+    return std::make_unique<SzAdapter>(o);
   });
   RegisterCompressor("zfp", [](const CodecOptions& o) {
-    return std::unique_ptr<Compressor>(new ZfpAdapter(o));
+    return std::make_unique<ZfpAdapter>(o);
   });
   RegisterCompressor("cdc", [](const CodecOptions& o) {
-    return std::unique_ptr<Compressor>(new CdcAdapter(o));
+    return std::make_unique<CdcAdapter>(o);
   });
   RegisterCompressor("gcd", [](const CodecOptions& o) {
-    return std::unique_ptr<Compressor>(new GcdAdapter(o));
+    return std::make_unique<GcdAdapter>(o);
   });
   RegisterCompressor("vae_sr", [](const CodecOptions& o) {
-    return std::unique_ptr<Compressor>(new VaeSrAdapter(o));
+    return std::make_unique<VaeSrAdapter>(o);
   });
 }
 

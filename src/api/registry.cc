@@ -12,7 +12,7 @@ namespace glsc::api {
 namespace {
 
 Mutex& RegistryMutex() {
-  static Mutex mu;
+  static Mutex mu{"api.RegistryMutex"};
   return mu;
 }
 
@@ -89,7 +89,7 @@ std::unique_ptr<Compressor> GetOrTrainCodec(
   // would otherwise both miss the file check, train twice, and interleave
   // their WriteFileBytes. Training dominates the hold time, which is exactly
   // the point — the second caller waits and then loads the first one's model.
-  static Mutex artifact_mu;
+  static Mutex artifact_mu{"api.artifact_mu"};
   MutexLock lock(artifact_mu);
   const std::string path = core::ArtifactPath(artifacts_dir, tag);
   if (!core::RetrainRequested() && FileExists(path)) {

@@ -99,7 +99,7 @@ GaussianConditionalModel::CachedTable(int sigma_bin, int frac_bin) {
   // pair on the pointer is the synchronization — the mutex only keeps two
   // writers from building (and leaking) the same table twice.
   struct FreqTableCache {
-    Mutex build_mu;
+    Mutex build_mu{"GaussianConditionalModel.build_mu"};
     std::array<std::atomic<const FreqTable*>, kSigmaBins * kFracBins> slots{};
   };
   static FreqTableCache cache;

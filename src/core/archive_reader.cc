@@ -96,7 +96,7 @@ class FileSource final : public ArchiveReader::Source {
   }
 
  private:
-  Mutex mu_;
+  Mutex mu_{"ArchiveReader.FileSource.mu"};
   // The shared seek position makes the stream the contended state; size_ is
   // written once in the constructor and read-only afterwards.
   std::ifstream stream_ GUARDED_BY(mu_);

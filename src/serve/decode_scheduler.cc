@@ -25,7 +25,8 @@ DecodeScheduler::DecodeScheduler(const core::ArchiveReader* reader,
   worker_mu_.reserve(workers_.size());
   workspaces_.reserve(workers_.size());
   for (std::size_t i = 0; i < workers_.size(); ++i) {
-    worker_mu_.push_back(std::make_unique<Mutex>());
+    worker_mu_.push_back(std::make_unique<Mutex>(
+        "DecodeScheduler.worker_mu", lockrank::kDecodeWorkerSlot));
     workspaces_.push_back(std::make_unique<tensor::Workspace>());
   }
 }

@@ -43,6 +43,7 @@
 #include "core/archive_reader.h"
 #include "serve/fault_injector.h"
 #include "util/deadline.h"
+#include "util/lock_checker.h"
 #include "util/mutex.h"
 
 namespace glsc::serve {
@@ -152,10 +153,11 @@ class DecodeScheduler {
   // record decode, never across a pool wait, so queries interleave on worker
   // slots without deadlock. Lock order: worker_mu_[k] is taken BEFORE mu_
   // (decoders hold their slot while publishing); never take a worker lock
-  // while holding mu_.
+  // while holding mu_. The ranks below (checked at runtime under
+  // GLSC_DEBUG_LOCKS) are the machine-readable form of that sentence.
   std::vector<std::unique_ptr<Mutex>> worker_mu_;
 
-  Mutex mu_;
+  Mutex mu_{"DecodeScheduler.mu", lockrank::kDecodeScheduler};
   // LRU over record indices: most recent at the front; cache_ maps a record
   // to its list node and decoded tensor.
   std::list<std::size_t> lru_ GUARDED_BY(mu_);

@@ -65,7 +65,7 @@ class FaultInjector {
     int slow_ms;
   };
 
-  Mutex mu_;
+  Mutex mu_{"FaultInjector.mu"};
   std::vector<Armed> armed_ GUARDED_BY(mu_);
   std::atomic<std::int64_t> transient_{0};
   std::atomic<std::int64_t> corrupt_{0};

@@ -78,7 +78,7 @@ class RequestQueue {
 
  private:
   const std::size_t capacity_;
-  mutable Mutex mu_;
+  mutable Mutex mu_{"RequestQueue.mu"};
   CondVar cv_;
   std::deque<T> items_ GUARDED_BY(mu_);
   bool closed_ GUARDED_BY(mu_) = false;

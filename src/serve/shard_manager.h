@@ -189,7 +189,7 @@ class ShardManager {
   // and the worker that executes it.
   struct Job {
     GetRequest request;
-    Mutex mu;
+    Mutex mu{"ShardManager.Job.mu"};
     CondVar cv;
     bool finished GUARDED_BY(mu) = false;
     Tensor result GUARDED_BY(mu);
@@ -211,7 +211,7 @@ class ShardManager {
   std::unique_ptr<RequestQueue<std::shared_ptr<Job>>> queue_;
   std::vector<std::thread> workers_;
 
-  mutable Mutex mu_;  // tenants, quarantine state, shutdown flag
+  mutable Mutex mu_{"ShardManager.mu"};  // tenants, quarantine, shutdown flag
   std::unordered_map<std::string, TenantState> tenants_ GUARDED_BY(mu_);
   bool shutdown_ GUARDED_BY(mu_) = false;
 

@@ -108,6 +108,7 @@ Tensor Tensor::Arange(std::int64_t n) {
 }
 
 float& Tensor::At(std::initializer_list<std::int64_t> idx) {
+  CheckArenaBorrow();
   GLSC_DCHECK(idx.size() == shape_.size());
   std::int64_t flat = 0;
   std::size_t axis = 0;
@@ -125,6 +126,7 @@ float Tensor::At(std::initializer_list<std::int64_t> idx) const {
 
 Tensor Tensor::Clone() const {
   GLSC_CHECK(defined());
+  CheckArenaBorrow();
   Tensor t = Empty(shape_);
   if (numel() > 0) std::copy_n(ptr_, numel(), t.ptr_);
   return t;
@@ -139,6 +141,11 @@ Tensor Tensor::Reshape(Shape shape) const {
   t.storage_ = storage_;
   t.ptr_ = ptr_;
   t.defined_ = defined_;
+#if defined(GLSC_DEBUG_ARENA) && GLSC_DEBUG_ARENA
+  // A reshaped view of an arena borrow is the same borrow.
+  t.arena_ = arena_;
+  t.arena_serial_ = arena_serial_;
+#endif
   return t;
 }
 
@@ -206,19 +213,25 @@ Tensor Tensor::Slice0(std::int64_t begin, std::int64_t end) const {
   return out;
 }
 
-void Tensor::Fill(float value) { std::fill_n(ptr_, numel(), value); }
+void Tensor::Fill(float value) {
+  CheckArenaBorrow();
+  std::fill_n(ptr_, numel(), value);
+}
 
 float Tensor::MinValue() const {
   GLSC_CHECK(numel() > 0);
+  CheckArenaBorrow();
   return *std::min_element(ptr_, ptr_ + numel());
 }
 
 float Tensor::MaxValue() const {
   GLSC_CHECK(numel() > 0);
+  CheckArenaBorrow();
   return *std::max_element(ptr_, ptr_ + numel());
 }
 
 double Tensor::Sum() const {
+  CheckArenaBorrow();
   return std::accumulate(ptr_, ptr_ + numel(), 0.0);
 }
 
@@ -228,6 +241,7 @@ double Tensor::Mean() const {
 }
 
 bool Tensor::AllFinite() const {
+  CheckArenaBorrow();
   const std::int64_t n = numel();
   for (std::int64_t i = 0; i < n; ++i) {
     if (!std::isfinite(ptr_[i])) return false;

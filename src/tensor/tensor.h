@@ -31,6 +31,12 @@ namespace glsc {
 
 namespace tensor {
 class Workspace;
+#if defined(GLSC_DEBUG_ARENA) && GLSC_DEBUG_ARENA
+// Aborts with a use-after-rewind diagnostic unless the allocation identified
+// by (`ws`, `serial`) is still live (workspace.cc). Debug accessors call this
+// through the provenance Workspace::NewTensor stamps into borrowed views.
+void AssertBorrowValid(const Workspace* ws, std::uint64_t serial);
+#endif
 }  // namespace tensor
 
 using Shape = std::vector<std::int64_t>;
@@ -58,6 +64,12 @@ class Tensor {
       other.shape_.clear();
       other.ptr_ = nullptr;
       other.defined_ = false;
+#if defined(GLSC_DEBUG_ARENA) && GLSC_DEBUG_ARENA
+      arena_ = other.arena_;
+      arena_serial_ = other.arena_serial_;
+      other.arena_ = nullptr;
+      other.arena_serial_ = 0;
+#endif
     }
     return *this;
   }
@@ -95,11 +107,23 @@ class Tensor {
   std::size_t rank() const { return shape_.size(); }
   std::int64_t numel() const { return ShapeNumel(shape_); }
 
-  float* data() { return ptr_; }
-  const float* data() const { return ptr_; }
+  float* data() {
+    CheckArenaBorrow();
+    return ptr_;
+  }
+  const float* data() const {
+    CheckArenaBorrow();
+    return ptr_;
+  }
 
-  float& operator[](std::int64_t i) { return ptr_[i]; }
-  float operator[](std::int64_t i) const { return ptr_[i]; }
+  float& operator[](std::int64_t i) {
+    CheckArenaBorrow();
+    return ptr_[i];
+  }
+  float operator[](std::int64_t i) const {
+    CheckArenaBorrow();
+    return ptr_[i];
+  }
 
   // Multi-index access (rank-checked in debug builds); for tests and
   // non-hot-path code.
@@ -133,12 +157,29 @@ class Tensor {
  private:
   void PermuteInto(const std::vector<int>& perm, Tensor* out) const;
 
+  // Use-after-rewind guard for arena-backed views; compiles to nothing (and
+  // the provenance fields below to zero bytes) unless GLSC_DEBUG_ARENA is on.
+  void CheckArenaBorrow() const {
+#if defined(GLSC_DEBUG_ARENA) && GLSC_DEBUG_ARENA
+    if (arena_ != nullptr) tensor::AssertBorrowValid(arena_, arena_serial_);
+#endif
+  }
+
   Shape shape_;
   // Keep-alive handle for owned storage; null for borrowed views and
   // default-constructed tensors. All element access goes through ptr_.
   std::shared_ptr<void> storage_;
   float* ptr_ = nullptr;
   bool defined_ = false;
+
+#if defined(GLSC_DEBUG_ARENA) && GLSC_DEBUG_ARENA
+  // Which arena allocation this view borrows from (null for owned storage or
+  // non-arena borrows). Stamped by Workspace::NewTensor, propagated by
+  // copy/move/Reshape, cleared by Clone (which lifts to owned storage).
+  friend class tensor::Workspace;
+  const tensor::Workspace* arena_ = nullptr;
+  std::uint64_t arena_serial_ = 0;
+#endif
 };
 
 // Concatenate along axis 0. All inputs must agree on trailing dims.

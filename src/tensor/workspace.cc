@@ -3,6 +3,12 @@
 #include <algorithm>
 #include <new>
 
+#if defined(GLSC_DEBUG_ARENA) && GLSC_DEBUG_ARENA
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#endif
+
 namespace glsc::tensor {
 namespace {
 
@@ -22,6 +28,12 @@ Workspace::Workspace(std::size_t initial_bytes) {
 }
 
 Workspace::~Workspace() {
+#if defined(GLSC_DEBUG_ARENA) && GLSC_DEBUG_ARENA
+  // Views must not outlive the arena either; ValidateBorrow reads this field
+  // to turn a dangling-workspace access into a diagnostic (and, under ASan,
+  // the read of the freed Workspace object itself reports first).
+  live_magic_ = kDeadMagic;
+#endif
   for (Slab& slab : slabs_) {
     ::operator delete(slab.data, std::align_val_t{kAlignment});
   }
@@ -49,6 +61,9 @@ float* Workspace::Allocate(std::int64_t count) {
   const std::size_t bytes = RoundUp(static_cast<std::size_t>(count) *
                                     sizeof(float));
   stats_.borrows += 1;
+#if defined(GLSC_DEBUG_ARENA) && GLSC_DEBUG_ARENA
+  ++alloc_serial_;
+#endif
   if (bytes == 0) return nullptr;
   while (true) {
     if (!slabs_.empty()) {
@@ -73,7 +88,12 @@ float* Workspace::Allocate(std::int64_t count) {
 
 Tensor Workspace::NewTensor(Shape shape) {
   const std::int64_t n = ShapeNumel(shape);
-  return Tensor::Borrowed(Allocate(n), std::move(shape));
+  Tensor t = Tensor::Borrowed(Allocate(n), std::move(shape));
+#if defined(GLSC_DEBUG_ARENA) && GLSC_DEBUG_ARENA
+  t.arena_ = this;
+  t.arena_serial_ = alloc_serial_;
+#endif
+  return t;
 }
 
 Tensor Workspace::NewZeroed(Shape shape) {
@@ -87,12 +107,23 @@ Workspace::Checkpoint Workspace::Mark() const {
   checkpoint.slab = current_;
   checkpoint.offset = slabs_.empty() ? 0 : slabs_[current_].offset;
   checkpoint.used = used_;
+#if defined(GLSC_DEBUG_ARENA) && GLSC_DEBUG_ARENA
+  checkpoint.serial = alloc_serial_;
+#endif
   return checkpoint;
 }
 
 void Workspace::Rewind(const Checkpoint& checkpoint) {
-  if (slabs_.empty()) return;
+  if (slabs_.empty()) {
+#if defined(GLSC_DEBUG_ARENA) && GLSC_DEBUG_ARENA
+    PoisonAndInvalidate(checkpoint);
+#endif
+    return;
+  }
   GLSC_DCHECK(checkpoint.slab <= current_);
+#if defined(GLSC_DEBUG_ARENA) && GLSC_DEBUG_ARENA
+  PoisonAndInvalidate(checkpoint);
+#endif
   for (std::size_t i = checkpoint.slab + 1; i <= current_; ++i) {
     slabs_[i].offset = 0;
   }
@@ -102,9 +133,74 @@ void Workspace::Rewind(const Checkpoint& checkpoint) {
 }
 
 void Workspace::Reset() {
+#if defined(GLSC_DEBUG_ARENA) && GLSC_DEBUG_ARENA
+  Checkpoint zero;  // slab 0, offset 0, serial 0: everything is reclaimed
+  PoisonAndInvalidate(zero);
+#endif
   for (Slab& slab : slabs_) slab.offset = 0;
   current_ = 0;
   used_ = 0;
 }
+
+#if defined(GLSC_DEBUG_ARENA) && GLSC_DEBUG_ARENA
+
+void Workspace::PoisonAndInvalidate(const Checkpoint& checkpoint) {
+  constexpr unsigned char kPoison = 0xDB;
+  if (!slabs_.empty() && checkpoint.slab <= current_) {
+    Slab& first = slabs_[checkpoint.slab];
+    if (first.offset > checkpoint.offset) {
+      std::memset(first.data + checkpoint.offset, kPoison,
+                  first.offset - checkpoint.offset);
+    }
+    for (std::size_t i = checkpoint.slab + 1; i <= current_; ++i) {
+      if (slabs_[i].offset > 0) {
+        std::memset(slabs_[i].data, kPoison, slabs_[i].offset);
+      }
+    }
+  }
+  if (alloc_serial_ <= checkpoint.serial) return;  // nothing allocated since
+  const std::uint64_t begin = checkpoint.serial;  // interval is (begin, end]
+  const std::uint64_t end = alloc_serial_;
+  // Intervals whose begin lies at/after the new begin are subsumed (their end
+  // is <= alloc_serial_ by monotonicity); pop them, then merge with a
+  // contiguous predecessor so back-to-back scopes collapse into one entry.
+  while (!invalid_.empty() && invalid_.back().first >= begin) {
+    invalid_.pop_back();
+  }
+  if (!invalid_.empty() && invalid_.back().second == begin) {
+    invalid_.back().second = end;
+  } else {
+    invalid_.emplace_back(begin, end);
+  }
+}
+
+bool Workspace::ValidateBorrow(std::uint64_t serial) const {
+  if (live_magic_ != kLiveMagic) return false;
+  if (serial == 0 || serial > alloc_serial_) return false;  // never handed out
+  // First interval with end >= serial; the borrow is dead iff it starts
+  // before `serial` (intervals are (begin, end]).
+  const auto it = std::lower_bound(
+      invalid_.begin(), invalid_.end(), serial,
+      [](const std::pair<std::uint64_t, std::uint64_t>& interval,
+         std::uint64_t s) { return interval.second < s; });
+  return it == invalid_.end() || it->first >= serial;
+}
+
+void AssertBorrowValid(const Workspace* ws, std::uint64_t serial) {
+  if (ws != nullptr && ws->ValidateBorrow(serial)) return;
+  std::fprintf(stderr,
+               "\n==== glsc arena borrow checker: use-after-rewind ====\n"
+               "  borrowed tensor (arena %p, allocation serial %llu) accessed "
+               "after its Workspace scope rewound or the Workspace died.\n"
+               "  The backing bytes were poisoned with 0xDB at rewind; any "
+               "value read through this view is garbage.\n"
+               "==== aborting ====\n",
+               static_cast<const void*>(ws),
+               static_cast<unsigned long long>(serial));
+  std::fflush(stderr);
+  std::abort();
+}
+
+#endif  // GLSC_DEBUG_ARENA
 
 }  // namespace glsc::tensor

@@ -27,6 +27,18 @@
 //    storage when it must escape.
 //  - Not thread-safe: sessions and the decode scheduler own one Workspace per
 //    worker slot, next to the per-worker codec clones.
+//
+// Borrow validation (GLSC_DEBUG_ARENA, default ON in Debug/sanitizer trees):
+// using a borrowed view after its scope rewound is the arena design's biggest
+// footgun — the memory is still mapped, so release builds silently read
+// whatever the next window wrote there. With the checker compiled in:
+//  - every Allocate gets a monotonically increasing serial, stamped into the
+//    Tensor views NewTensor hands out;
+//  - Rewind/Reset POISON the reclaimed region with 0xDB and record the serial
+//    range they invalidated (an inner-scope rewind never invalidates
+//    outer-scope borrows — the interval set is exact, not a global epoch);
+//  - debug tensor accessors call ValidateBorrow through the stamped
+//    provenance and abort with a diagnostic on any use-after-rewind.
 #pragma once
 
 #include <cstddef>
@@ -51,6 +63,9 @@ class Workspace {
     std::size_t slab = 0;
     std::size_t offset = 0;
     std::int64_t used = 0;
+#if defined(GLSC_DEBUG_ARENA) && GLSC_DEBUG_ARENA
+    std::uint64_t serial = 0;  // alloc_serial_ at Mark() time
+#endif
   };
 
   // RAII checkpoint: rewinds the arena to the construction point when
@@ -97,6 +112,17 @@ class Workspace {
   const Stats& stats() const { return stats_; }
   std::int64_t bytes_in_use() const { return used_; }
 
+#if defined(GLSC_DEBUG_ARENA) && GLSC_DEBUG_ARENA
+  // True when the allocation identified by `serial` is still live: the
+  // workspace has not been destroyed, and no Rewind/Reset has reclaimed the
+  // region that allocation came from. Debug tensor accessors assert this
+  // through the provenance NewTensor stamps into its views (see
+  // tensor::AssertBorrowValid); tests may call it directly.
+  bool ValidateBorrow(std::uint64_t serial) const;
+  // Serial of the most recent Allocate (tests).
+  std::uint64_t debug_alloc_serial() const { return alloc_serial_; }
+#endif
+
  private:
   struct Slab {
     std::byte* data = nullptr;
@@ -106,10 +132,28 @@ class Workspace {
 
   void AddSlab(std::size_t min_bytes);
 
+#if defined(GLSC_DEBUG_ARENA) && GLSC_DEBUG_ARENA
+  // 0xDB-fill every byte the arena held out between `checkpoint` and the
+  // current bump state, then record the serial interval those allocations
+  // occupied as invalid.
+  void PoisonAndInvalidate(const Checkpoint& checkpoint);
+#endif
+
   std::vector<Slab> slabs_;
   std::size_t current_ = 0;  // index into slabs_ (meaningful when non-empty)
   std::int64_t used_ = 0;    // bytes currently handed out across all slabs
   Stats stats_;
+
+#if defined(GLSC_DEBUG_ARENA) && GLSC_DEBUG_ARENA
+  static constexpr std::uint64_t kLiveMagic = 0x676c73634c495645ull;  // glscLIVE
+  static constexpr std::uint64_t kDeadMagic = 0x676c736344454144ull;  // glscDEAD
+  std::uint64_t live_magic_ = kLiveMagic;
+  std::uint64_t alloc_serial_ = 0;  // bumped on every Allocate
+  // Disjoint, sorted (begin, end] serial intervals reclaimed by rewinds.
+  // Contiguous rewinds merge, so steady-state decode (one scope per window)
+  // keeps this at O(live scope depth), not O(total rewinds).
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> invalid_;
+#endif
 };
 
 }  // namespace glsc::tensor

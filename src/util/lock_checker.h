@@ -1,0 +1,64 @@
+// Runtime lock-order checker behind util::Mutex (GLSC_DEBUG_LOCKS).
+//
+// The clang thread-safety annotations in util/thread_annotations.h enforce
+// lock DISCIPLINE (which mutex guards which data) at compile time — but only
+// under clang, and they say nothing about lock ORDER. The primary build
+// container ships gcc only, so the documented ordering invariants (e.g.
+// DecodeScheduler: worker_mu_[k] before mu_, never the reverse) were pure
+// convention. This checker enforces them at runtime, under any compiler:
+//
+//  - Every live Mutex is a node in a global lock-order graph. Acquiring B
+//    while holding A records the edge A -> B together with the acquisition
+//    backtrace of the first time that edge was seen.
+//  - Before an edge A -> B is added, the graph is searched for a path
+//    B ~> A. Finding one means some thread interleaving can deadlock; the
+//    checker prints BOTH acquisition stacks (the stored path edges and the
+//    current backtrace) and aborts — turning a once-in-a-blue-moon hang into
+//    a deterministic test failure.
+//  - Mutexes may additionally register a RANK (see lockrank below). Ranked
+//    mutexes must be acquired in strictly increasing rank order; a violation
+//    aborts on the FIRST bad acquisition, without needing to observe both
+//    orders at runtime the way the graph does.
+//  - Re-acquiring a mutex the calling thread already holds (self-deadlock
+//    with std::mutex) aborts immediately.
+//
+// The hooks are called by util::Mutex only when the library is compiled with
+// GLSC_DEBUG_LOCKS=1 (CMake option GLSC_DEBUG_LOCKS, default ON in Debug,
+// sanitizer, and TSan trees; OFF in Release so the default build keeps
+// zero-overhead locking). TryLock pushes the held-list entry but records no
+// graph edge: a try-acquisition cannot block, so it cannot close a deadlock
+// cycle, and flagging it would outlaw legitimate try-lock back-off patterns.
+#pragma once
+
+namespace glsc::lockcheck {
+
+// Mutex lifetime. `name` may be null (an anonymous lock — still checked
+// through the graph); `rank` <= 0 means unranked.
+void OnCreate(const void* mu, const char* name, int rank);
+void OnDestroy(const void* mu);
+
+// Blocking acquisition attempt: runs the self-deadlock, rank, and graph-cycle
+// checks (aborting with both stacks on a violation), then records the edge
+// and pushes the mutex onto the calling thread's held list. Call BEFORE
+// blocking on the underlying lock so an inversion reports instead of hanging.
+void OnAcquire(const void* mu);
+
+// Successful TryLock: held-list bookkeeping only (no edges, no checks beyond
+// self-deadlock — try_lock on a held std::mutex is still UB).
+void OnTryAcquired(const void* mu);
+
+void OnRelease(const void* mu);
+
+// Locks currently held by the calling thread (tests).
+int HeldCount();
+
+}  // namespace glsc::lockcheck
+
+namespace glsc::lockrank {
+
+// Rank constants for the documented orderings. Lower ranks are acquired
+// FIRST. Leave gaps so new layers can slot in without renumbering.
+inline constexpr int kDecodeWorkerSlot = 10;  // DecodeScheduler::worker_mu_[k]
+inline constexpr int kDecodeScheduler = 20;   // DecodeScheduler::mu_
+
+}  // namespace glsc::lockrank

@@ -6,9 +6,24 @@
 // attributes (util/thread_annotations.h) without changing behavior: Mutex IS
 // a std::mutex, MutexLock IS a lock_guard, CondVar IS a condition_variable
 // that borrows the already-held Mutex through the adopt_lock/release trick.
-// Zero state is added and every method inlines to the std call, so the
-// concurrent paths (ThreadPool, RequestQueue, DecodeScheduler, ShardManager)
-// pay nothing for being machine-checkable.
+// In the default (release) build zero state is added and every method inlines
+// to the std call, so the concurrent paths (ThreadPool, RequestQueue,
+// DecodeScheduler, ShardManager) pay nothing for being machine-checkable.
+//
+// Compiled with GLSC_DEBUG_LOCKS=1 (Debug/sanitizer/TSan trees), every
+// Lock/Unlock additionally reports to the runtime lock-order checker
+// (util/lock_checker.h): lock-order inversions, rank violations, and
+// self-deadlocks abort with both acquisition stacks instead of hanging. The
+// clang annotations enforce lock discipline at compile time where clang
+// exists; the checker enforces lock ORDER at runtime everywhere — including
+// the gcc-only primary container.
+//
+// A Mutex may carry a name and a rank (see lockrank in util/lock_checker.h)
+// for better reports and eager rank checking:
+//
+//   Mutex mu_{"DecodeScheduler.mu", lockrank::kDecodeScheduler};
+//
+// Both are ignored (and cost nothing) when the checker is compiled out.
 #pragma once
 
 #include <chrono>
@@ -17,20 +32,46 @@
 
 #include "util/thread_annotations.h"
 
+#if defined(GLSC_DEBUG_LOCKS) && GLSC_DEBUG_LOCKS
+#include "util/lock_checker.h"
+#define GLSC_LOCKCHECK(call) ::glsc::lockcheck::call
+#else
+#define GLSC_LOCKCHECK(call) ((void)0)
+#endif
+
 namespace glsc {
 
 class CAPABILITY("mutex") Mutex {
  public:
-  Mutex() = default;
+  Mutex() : Mutex(nullptr, 0) {}
+  explicit Mutex(const char* name, int rank = 0) {
+    (void)name;
+    (void)rank;
+    GLSC_LOCKCHECK(OnCreate(this, name, rank));
+  }
+  ~Mutex() { GLSC_LOCKCHECK(OnDestroy(this)); }
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void Lock() ACQUIRE() { mu_.lock(); }
-  void Unlock() RELEASE() { mu_.unlock(); }
-  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void Lock() ACQUIRE() {
+    // Checked BEFORE blocking so an inversion aborts with a report instead of
+    // deadlocking the process.
+    GLSC_LOCKCHECK(OnAcquire(this));
+    mu_.lock();
+  }
+  void Unlock() RELEASE() {
+    GLSC_LOCKCHECK(OnRelease(this));
+    mu_.unlock();
+  }
+  bool TryLock() TRY_ACQUIRE(true) {
+    const bool ok = mu_.try_lock();
+    if (ok) GLSC_LOCKCHECK(OnTryAcquired(this));
+    return ok;
+  }
 
   // The underlying handle, for interop (CondVar). Callers must not lock it
-  // directly — the analysis cannot see that.
+  // directly — neither the clang analysis nor the lock-order checker can see
+  // that.
   std::mutex& native() { return mu_; }
 
  private:
@@ -56,7 +97,9 @@ class SCOPED_CAPABILITY MutexLock {
 // already holds (REQUIRES), adopt it into a std::unique_lock for the wait,
 // and release the unique_lock before returning so ownership stays with the
 // caller's scope — exactly std::condition_variable semantics, visible to the
-// analysis.
+// analysis. The lock-order checker keeps the Mutex on the waiter's held list
+// through the wait: the thread re-holds it whenever the predicate runs and
+// when Wait returns, which is the invariant the checker models.
 class CondVar {
  public:
   CondVar() = default;

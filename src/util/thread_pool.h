@@ -68,7 +68,7 @@ class ThreadPool {
   void WorkerLoop();
 
   std::vector<std::thread> workers_;
-  Mutex mu_;
+  Mutex mu_{"ThreadPool.mu"};
   CondVar cv_;
   std::queue<std::function<void()>> queue_ GUARDED_BY(mu_);
   bool stop_ GUARDED_BY(mu_) = false;

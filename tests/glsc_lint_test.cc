@@ -1,0 +1,107 @@
+// Self-test for the project linter (tools/glsc_lint.cc), driven over the
+// fixture trees in tools/lint_fixtures/: a checker that silently stops
+// finding anything is worse than no checker. Also asserts the REAL repo tree
+// is lint-clean, so `ctest` alone catches a violation even when nobody runs
+// scripts/check.sh.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "glsc_lint.h"
+
+namespace glsc {
+namespace {
+
+using lint::Result;
+using lint::RunLint;
+using lint::StripCommentsAndStrings;
+
+std::string FixtureRoot(const std::string& name) {
+  return std::string(GLSC_REPO_ROOT) + "/tools/lint_fixtures/" + name;
+}
+
+int CountRule(const Result& result, const std::string& rule,
+              const std::string& file) {
+  return static_cast<int>(std::count_if(
+      result.findings.begin(), result.findings.end(), [&](const auto& f) {
+        return f.rule == rule && (file.empty() || f.file == file);
+      }));
+}
+
+TEST(GlscLintTest, BadFixtureTriggersEveryRule) {
+  const Result result = RunLint(FixtureRoot("bad"));
+  EXPECT_TRUE(result.errors.empty()) << result.errors.front();
+
+  // raw_sync.cc: std::mutex decl + std::lock_guard<std::mutex> (two tokens).
+  EXPECT_EQ(CountRule(result, "raw-sync", "src/raw_sync.cc"), 3);
+  // leaky.cc: one naked new + one naked delete; the `operator new`,
+  // `operator delete` and `= delete` occurrences must NOT be flagged.
+  EXPECT_EQ(CountRule(result, "naked-new", "src/leaky.cc"), 2);
+  EXPECT_EQ(CountRule(result, "iostream-in-header", "src/noisy.h"), 1);
+  // orphan_test is registered natively but has no _scalar registration.
+  EXPECT_EQ(CountRule(result, "test-registration", "tests/orphan_test.cc"), 1);
+
+  // Nothing beyond the four deliberate violation classes.
+  EXPECT_EQ(result.findings.size(), 7u);
+}
+
+TEST(GlscLintTest, FindingsCarryLineNumbers) {
+  const Result result = RunLint(FixtureRoot("bad"));
+  for (const auto& f : result.findings) {
+    EXPECT_GE(f.line, 1) << f.file << " [" << f.rule << "]";
+  }
+}
+
+TEST(GlscLintTest, CleanFixturePassesViaAllowlist) {
+  const Result result = RunLint(FixtureRoot("clean"));
+  EXPECT_TRUE(result.findings.empty())
+      << result.findings.front().file << ": "
+      << result.findings.front().message;
+  // The allowlisted raw-sync entry is USED, so it must not report as stale.
+  EXPECT_TRUE(result.errors.empty()) << result.errors.front();
+  EXPECT_TRUE(result.ok());
+}
+
+TEST(GlscLintTest, StaleAllowlistEntryIsAnError) {
+  const Result result = RunLint(FixtureRoot("stale"));
+  EXPECT_TRUE(result.findings.empty());
+  ASSERT_EQ(result.errors.size(), 1u);
+  EXPECT_NE(result.errors.front().find("stale entry"), std::string::npos)
+      << result.errors.front();
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(GlscLintTest, StripperHandlesCommentsStringsAndRawStrings) {
+  const std::string source =
+      "int a; // std::mutex in a line comment\n"
+      "/* new Thing() in a block comment */\n"
+      "const char* s = \"delete p;\";\n"
+      "const char* r = R\"(std::lock_guard)\";\n"
+      "char c = '\\\"'; int live_new = 0;\n";
+  const std::string stripped = StripCommentsAndStrings(source);
+  EXPECT_EQ(stripped.find("std::mutex"), std::string::npos);
+  EXPECT_EQ(stripped.find("new Thing"), std::string::npos);
+  EXPECT_EQ(stripped.find("delete p"), std::string::npos);
+  EXPECT_EQ(stripped.find("std::lock_guard"), std::string::npos);
+  // Code outside literals survives, and newlines are preserved.
+  EXPECT_NE(stripped.find("int a;"), std::string::npos);
+  EXPECT_NE(stripped.find("live_new"), std::string::npos);
+  EXPECT_EQ(std::count(stripped.begin(), stripped.end(), '\n'),
+            std::count(source.begin(), source.end(), '\n'));
+}
+
+TEST(GlscLintTest, RealRepoIsClean) {
+  const Result result = RunLint(GLSC_REPO_ROOT);
+  for (const auto& f : result.findings) {
+    ADD_FAILURE() << f.file << ":" << f.line << ": [" << f.rule << "] "
+                  << f.message;
+  }
+  for (const auto& e : result.errors) {
+    ADD_FAILURE() << e;
+  }
+  EXPECT_GT(result.files_scanned, 100);  // sanity: it really walked the tree
+}
+
+}  // namespace
+}  // namespace glsc

@@ -1,0 +1,27 @@
+// Command-line driver for the project linter. Usage:
+//
+//   glsc_lint [repo-root]      (default: current directory)
+//
+// Prints one line per violation in `file:line: [rule] message` form (the
+// format editors and CI annotations parse), then a summary. Exit status is 0
+// only when the tree is clean AND the allowlist has no stale entries.
+#include <cstdio>
+
+#include "glsc_lint.h"
+
+int main(int argc, char** argv) {
+  const char* root = (argc > 1) ? argv[1] : ".";
+  const glsc::lint::Result result = glsc::lint::RunLint(root);
+
+  for (const auto& f : result.findings) {
+    std::printf("%s:%d: [%s] %s\n", f.file.c_str(), f.line, f.rule.c_str(),
+                f.message.c_str());
+  }
+  for (const auto& e : result.errors) {
+    std::printf("error: %s\n", e.c_str());
+  }
+  std::printf("glsc_lint: %d files scanned, %zu violations, %zu errors\n",
+              result.files_scanned, result.findings.size(),
+              result.errors.size());
+  return result.ok() ? 0 : 1;
+}

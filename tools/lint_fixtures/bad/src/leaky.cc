@@ -1,0 +1,24 @@
+// Fixture: naked new/delete expressions in src/ must be flagged; the
+// sanctioned forms below must NOT be.
+#include <new>
+
+namespace fixture {
+
+struct Widget {
+  Widget(const Widget&) = delete;  // `= delete` is not a delete-expression
+  int v = 0;
+};
+
+int* Make() { return new int(7); }  // flagged
+
+void Destroy(int* p) { delete p; }  // flagged
+
+void* RawAlloc(std::size_t n) {
+  return ::operator new(n);  // operator new: sanctioned
+}
+
+void RawFree(void* p) {
+  ::operator delete(p);  // operator delete: sanctioned
+}
+
+}  // namespace fixture

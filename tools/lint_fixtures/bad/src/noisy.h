@@ -1,0 +1,8 @@
+// Fixture: <iostream> in a header must be flagged.
+#pragma once
+
+#include <iostream>
+
+namespace fixture {
+inline void Shout() { std::cout << "noisy\n"; }
+}  // namespace fixture

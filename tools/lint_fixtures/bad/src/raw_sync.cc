@@ -1,0 +1,13 @@
+// Fixture: raw std sync primitives outside src/util/mutex.h must be flagged.
+#include <mutex>
+
+namespace fixture {
+
+std::mutex g_mu;
+
+int Locked() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  return 1;
+}
+
+}  // namespace fixture

@@ -1,0 +1,2 @@
+// Fixture: registered natively but missing the _scalar registration.
+int main() { return 0; }

@@ -1,0 +1,15 @@
+// Fixture: a raw std::mutex covered by the fixture allowlist, plus decoys
+// that only match if comment/string stripping is broken:
+//   std::condition_variable in this comment must not be flagged.
+#include <mutex>
+
+namespace fixture {
+
+std::mutex g_mu;  // suppressed by `raw-sync src/sanctioned.cc`
+
+const char* Decoys() {
+  // A delete-expression in a string literal is not a delete-expression.
+  return "new Thing(); delete thing; std::lock_guard<std::mutex> lk(mu);";
+}
+
+}  // namespace fixture

@@ -1,0 +1,2 @@
+// Fixture: covered by the glob-mode registration loop in CMakeLists.txt.
+int main() { return 0; }

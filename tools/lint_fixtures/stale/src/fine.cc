@@ -1,0 +1,5 @@
+// Fixture: clean file; the allowlist next door claims an exception for it
+// that suppresses nothing, which must be reported as a stale entry.
+namespace fixture {
+int Fine() { return 42; }
+}  // namespace fixture
