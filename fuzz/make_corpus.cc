@@ -9,6 +9,7 @@
 // differential). Everything is deterministic: fixed seeds, fixed shapes.
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <string>
@@ -16,6 +17,7 @@
 
 #include "api/session.h"
 #include "codec/range_coder.h"
+#include "core/archive_reader.h"
 #include "core/container.h"
 #include "data/field_generators.h"
 
@@ -82,6 +84,23 @@ std::vector<std::uint8_t> SerializeAsV2(
   return out.Release();
 }
 
+// A minimal synthetic v4 archive (no codec session, compressible payloads)
+// so the forced-filter / corrupted seeds stay small on disk.
+glsc::core::DatasetArchive TinyArchive() {
+  std::vector<glsc::data::FrameNorm> norms(8);
+  for (std::size_t i = 0; i < norms.size(); ++i) {
+    norms[i].mean = 0.25f * static_cast<float>(i);
+    norms[i].range = 1.0f;
+  }
+  glsc::core::DatasetArchive archive("sz", {1, 8, 8, 8}, 8, norms);
+  std::vector<std::uint8_t> payload(512);
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<std::uint8_t>(i / 5);
+  }
+  archive.Add(0, 0, 8, std::move(payload));
+  return archive;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -100,11 +119,12 @@ int main(int argc, char** argv) {
   // container structure, which is codec-independent.) ---
   for (const std::string codec : {"sz", "zfp"}) {
     const auto archive = SmallArchive(codec, 7 + codec.size());
-    WriteBlob(archive_dir / ("v3_" + codec + ".bin"), archive.Serialize());
+    WriteBlob(archive_dir / ("v3_" + codec + ".bin"),
+              archive.Serialize({.version = 3}));
   }
   {
     const auto archive = SmallArchive("sz", 23);
-    const auto v3 = archive.Serialize();
+    const auto v3 = archive.Serialize({.version = 3});
     WriteBlob(archive_dir / "v2_sz.bin", SerializeAsV2(archive));
 
     // Damaged variants reach the rejection paths without coverage feedback:
@@ -119,6 +139,61 @@ int main(int argc, char** argv) {
     std::vector<std::uint8_t> bad_index = v3;
     bad_index[bad_index.size() - 20] ^= 0xFF;
     WriteBlob(archive_dir / "v3_bad_index.bin", bad_index);
+  }
+
+  // --- v4 seeds: the filtered/appendable layout. Selection-driven archives
+  // from real codecs, every forced chain with the LZ backend on and off, and
+  // damaged variants aimed at the new decode paths (a lying filter id in the
+  // index, a stomped glz stream under an intact index, a severed 20-byte
+  // footer). ---
+  for (const std::string codec : {"sz", "zfp"}) {
+    const auto archive = SmallArchive(codec, 7 + codec.size());
+    WriteBlob(archive_dir / ("v4_" + codec + ".bin"), archive.Serialize());
+  }
+  {
+    using glsc::core::FilterBackend;
+    using glsc::core::FilterChain;
+    using glsc::core::FilterSpec;
+    const auto tiny = TinyArchive();
+    const struct {
+      const char* name;
+      FilterSpec spec;
+    } forced[] = {
+        {"none_glz", {FilterChain::kNone, 1, FilterBackend::kGlz}},
+        {"delta", {FilterChain::kDelta, 1, FilterBackend::kNone}},
+        {"delta_glz", {FilterChain::kDelta, 1, FilterBackend::kGlz}},
+        {"bitshuffle", {FilterChain::kBitshuffle, 4, FilterBackend::kNone}},
+        {"bitshuffle_glz", {FilterChain::kBitshuffle, 4, FilterBackend::kGlz}},
+        {"delta_bitshuffle_glz",
+         {FilterChain::kDeltaBitshuffle, 2, FilterBackend::kGlz}},
+    };
+    for (const auto& f : forced) {
+      WriteBlob(archive_dir / ("v4_forced_" + std::string(f.name) + ".bin"),
+                tiny.Serialize({.version = 4, .forced_filter = f.spec}));
+    }
+
+    const auto clean = tiny.Serialize();
+    // Lying filter id: reserved bits set on the index's first entry (count
+    // and the leading varints are all single-byte here, so the filter byte
+    // sits 4 bytes past the index offset).
+    std::vector<std::uint8_t> lying = clean;
+    std::uint64_t index_offset = 0;
+    std::memcpy(&index_offset, lying.data() + lying.size() - 12, 8);
+    lying[index_offset + 4] = 0xFF;
+    WriteBlob(archive_dir / "v4_lying_filter_id.bin", lying);
+
+    // Corrupt glz stream: record header and index intact, stored bytes
+    // stomped with 0xFF extended-literal tokens.
+    const auto reader = glsc::core::ArchiveReader::FromBytes(clean);
+    std::vector<std::uint8_t> corrupt = clean;
+    const auto& ref = reader.records().at(0);
+    for (std::uint64_t i = 0; i < ref.length; ++i) {
+      corrupt[ref.offset + i] = 0xFF;
+    }
+    WriteBlob(archive_dir / "v4_corrupt_glz.bin", corrupt);
+
+    std::vector<std::uint8_t> no_footer(clean.begin(), clean.end() - 20);
+    WriteBlob(archive_dir / "v4_no_footer.bin", no_footer);
   }
 
   // --- Range-coder seeds: [header | symbols] in the harness's input shape

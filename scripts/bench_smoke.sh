@@ -6,6 +6,9 @@
 # --codec=NAME it additionally runs the unified-API codec throughput smoke
 # (bench_codec_api) for that backend.
 #
+# Also runs the v4 filter-pipeline bench (bench_filters) over glsc + sz and
+# emits BENCH_filters.json with the filtered-vs-raw ratio and fetch MB/s.
+#
 # Usage:
 #   scripts/bench_smoke.sh [--codec=NAME] [extra google-benchmark flags...]
 #
@@ -57,6 +60,17 @@ fi
 # 128 frames = 8 records so the batched-fetch arm coalesces a full
 # max_batch=8 chunk (3 records would cap the batch at 3).
 "$E2E_BIN" --codec="$E2E_CODEC" --frames=128 --batch=8 --json="$E2E_OUT"
+
+FILTERS_BIN="$BUILD_DIR/bench_filters"
+FILTERS_OUT=${FILTERS_OUT:-BENCH_filters.json}
+if [[ ! -x "$FILTERS_BIN" ]]; then
+  echo "error: $FILTERS_BIN not found — rebuild first" >&2
+  exit 1
+fi
+# Full trajectory arm: glsc (trains or reuses the cached e2e artifact) + sz,
+# so BENCH_filters.json carries the filtered-vs-raw ratio for both.
+"$FILTERS_BIN" --codecs=glsc,sz --json="$FILTERS_OUT"
+echo "wrote $FILTERS_OUT"
 
 if [[ -n "$CODEC" ]]; then
   CODEC_BIN="$BUILD_DIR/bench_codec_api"

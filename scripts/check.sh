@@ -49,7 +49,9 @@ for t in serve_test serve_test_scalar workspace_test workspace_test_scalar \
          fuzz_regression_test fuzz_regression_test_scalar \
          glsc_lint_test glsc_lint_test_scalar \
          lock_checker_test lock_checker_test_scalar \
-         arena_debug_test arena_debug_test_scalar; do
+         arena_debug_test arena_debug_test_scalar \
+         filters_test filters_test_scalar \
+         container_v4_test container_v4_test_scalar; do
   # grep reads to EOF (no -q): under `pipefail`, an early-exiting grep can
   # SIGPIPE ctest and turn a present registration into a spurious failure.
   if ! ctest --test-dir "$BUILD_DIR" -N -R "^${t}\$" | grep "${t}\$" > /dev/null; then
@@ -69,6 +71,10 @@ echo "== bench JSON gate =="
 "$BUILD_DIR/bench_e2e_decode" --codec=sz --frames=48 --variables=1 \
     --json="$BUILD_DIR/BENCH_e2e.json"
 "$BUILD_DIR/bench_serve" --json="$BUILD_DIR/BENCH_serve.json"
+# Filter-pipeline gate: model-free sz arm, small buffer so it stays cheap.
+# The full glsc trajectory (which may train) lives in bench_smoke.sh.
+"$BUILD_DIR/bench_filters" --codecs=sz --frames=64 --mb=2 --reps=3 \
+    --json="$BUILD_DIR/BENCH_filters.json"
 if [[ ! -s "$BUILD_DIR/BENCH_e2e.json" ]]; then
   echo "error: BENCH_e2e.json missing or empty" >&2
   exit 1
@@ -100,12 +106,31 @@ for field in fetch_serial_windows_per_s fetch_batched_windows_per_s \
     exit 1
   fi
 done
+# The filter bench must report the kernel throughputs and the filtered-vs-raw
+# comparison — a stale binary would silently drop the v4 headline numbers.
+if [[ ! -s "$BUILD_DIR/BENCH_filters.json" ]]; then
+  echo "error: BENCH_filters.json missing or empty" >&2
+  exit 1
+fi
+for field in bitshuffle_enc_gbps bitshuffle_dec_gbps delta_enc_gbps \
+             delta_dec_gbps glz_comp_gbps glz_decomp_gbps v4_over_v3_ratio \
+             v3_window_fetch_mb_s v4_window_fetch_mb_s; do
+  if ! grep -q "\"$field\"" "$BUILD_DIR/BENCH_filters.json"; then
+    echo "error: BENCH_filters.json missing field: $field" >&2
+    exit 1
+  fi
+done
+# v4 must actually shrink the archive relative to raw v3 (ratio < 1).
+if grep -qE '"v4_over_v3_ratio": (1|[2-9])' "$BUILD_DIR/BENCH_filters.json"; then
+  echo "error: v4 archive not smaller than raw v3" >&2
+  exit 1
+fi
 bad=0
 # Gate ONLY the two files the commands above emitted. A BENCH_*.json glob over
 # the repo root (or the whole build dir) would also pick up artifacts from
 # earlier manual bench runs and fail this gate on files this run never wrote.
 for f in "$BUILD_DIR/BENCH_random_access.json" "$BUILD_DIR/BENCH_e2e.json" \
-         "$BUILD_DIR/BENCH_serve.json"; do
+         "$BUILD_DIR/BENCH_serve.json" "$BUILD_DIR/BENCH_filters.json"; do
   [[ -f "$f" ]] || continue
   if grep -nE '(^|[^A-Za-z_])-?(inf|nan)([^A-Za-z_]|$)' "$f"; then
     echo "error: non-finite value in $f" >&2

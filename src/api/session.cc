@@ -246,7 +246,8 @@ bool DecodeSession::Next(Tensor* out, std::int64_t* t0_out) {
     Tensor recon =
         payload != nullptr
             ? codec_->DecompressWindow(*payload, &workspace_)
-            : codec_->DecompressWindow(reader_.ReadPayload(index), &workspace_);
+            : codec_->DecompressWindow(reader_.ReadPayload(index, &workspace_),
+                                       &workspace_);
     GLSC_CHECK_MSG(recon.rank() == 3 && recon.dim(1) == shape[2] &&
                        recon.dim(2) == shape[3],
                    "decoded window geometry mismatch");

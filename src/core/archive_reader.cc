@@ -4,6 +4,14 @@
 #include <cstring>
 #include <fstream>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+#include "tensor/workspace.h"
 #include "util/check.h"
 #include "util/mutex.h"
 
@@ -51,7 +59,8 @@ namespace {
 
 constexpr char kArchiveMagic[4] = {'G', 'L', 'S', 'C'};
 constexpr char kIndexMagic[4] = {'G', 'I', 'D', 'X'};
-constexpr std::uint64_t kFooterBytes = 12;  // u64 index-offset + "GIDX"
+constexpr std::uint64_t kFooterBytes = 12;    // u64 index-offset + "GIDX"
+constexpr std::uint64_t kFooterBytesV4 = 20;  // u64 norms/index offs + "GIDX"
 
 class MemorySource final : public ArchiveReader::Source {
  public:
@@ -70,6 +79,109 @@ class MemorySource final : public ArchiveReader::Source {
  private:
   std::vector<std::uint8_t> bytes_;
 };
+
+#if defined(__unix__) || defined(__APPLE__)
+
+// Read-only mapping of the whole archive: payload fetches become plain
+// memcpys out of the page cache, with no syscall and no shared stream state —
+// concurrent decode workers never contend. c-blosc2's mmap frame trick.
+class MmapSource final : public ArchiveReader::Source {
+ public:
+  explicit MmapSource(const std::string& path) {
+    const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    GLSC_ARCHIVE_CHECK(fd >= 0, ArchiveFault::kIo,
+                       "cannot open archive " << path);
+    struct stat st = {};
+    if (::fstat(fd, &st) != 0) {
+      ::close(fd);
+      GLSC_ARCHIVE_CHECK(false, ArchiveFault::kIo, "cannot stat " << path);
+    }
+    size_ = static_cast<std::uint64_t>(st.st_size);
+    if (size_ > 0) {
+      void* map = ::mmap(nullptr, static_cast<std::size_t>(size_), PROT_READ,
+                         MAP_PRIVATE, fd, 0);
+      if (map == MAP_FAILED) {
+        ::close(fd);
+        GLSC_ARCHIVE_CHECK(false, ArchiveFault::kIo, "cannot mmap " << path);
+      }
+      data_ = static_cast<const std::uint8_t*>(map);
+    }
+    // The mapping keeps the bytes alive on its own.
+    ::close(fd);
+  }
+  ~MmapSource() override {
+    if (data_ != nullptr) {
+      ::munmap(const_cast<std::uint8_t*>(data_),
+               static_cast<std::size_t>(size_));
+    }
+  }
+  std::uint64_t size() const override { return size_; }
+  void ReadAt(std::uint64_t offset, std::uint64_t length,
+              std::uint8_t* dst) override {
+    CheckRange(offset, length);
+    if (length == 0) return;
+    std::memcpy(dst, data_ + offset, static_cast<std::size_t>(length));
+  }
+
+ private:
+  const std::uint8_t* data_ = nullptr;
+  std::uint64_t size_ = 0;
+};
+
+// Positioned pread per fetch: no mapping, no seek position to share, so reads
+// are lock-free too. The fallback when mmap is unavailable (some filesystems,
+// exotic mounts) and the pick for one-pass streaming reads that should not
+// pollute the address space.
+class PreadSource final : public ArchiveReader::Source {
+ public:
+  explicit PreadSource(const std::string& path)
+      : fd_(::open(path.c_str(), O_RDONLY | O_CLOEXEC)) {
+    GLSC_ARCHIVE_CHECK(fd_ >= 0, ArchiveFault::kIo,
+                       "cannot open archive " << path);
+    struct stat st = {};
+    GLSC_ARCHIVE_CHECK(::fstat(fd_, &st) == 0, ArchiveFault::kIo,
+                       "cannot stat " << path);
+    size_ = static_cast<std::uint64_t>(st.st_size);
+  }
+  ~PreadSource() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  std::uint64_t size() const override { return size_; }
+  void ReadAt(std::uint64_t offset, std::uint64_t length,
+              std::uint8_t* dst) override {
+    CheckRange(offset, length);
+    std::uint64_t done = 0;
+    while (done < length) {
+      const ::ssize_t n =
+          ::pread(fd_, dst + done, static_cast<std::size_t>(length - done),
+                  static_cast<::off_t>(offset + done));
+      if (n < 0 && errno == EINTR) continue;
+      GLSC_ARCHIVE_CHECK(n > 0, ArchiveFault::kIo, "short read from archive");
+      done += static_cast<std::uint64_t>(n);
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  std::uint64_t size_ = 0;
+};
+
+std::unique_ptr<ArchiveReader::Source> OpenFileSource(const std::string& path,
+                                                      FileBacking backing) {
+  if (backing == FileBacking::kPread) {
+    return std::make_unique<PreadSource>(path);
+  }
+  if (backing == FileBacking::kMmap) {
+    return std::make_unique<MmapSource>(path);
+  }
+  try {
+    return std::make_unique<MmapSource>(path);
+  } catch (const ArchiveError&) {
+    return std::make_unique<PreadSource>(path);
+  }
+}
+
+#else  // no POSIX mmap/pread: shared-stream fallback
 
 class FileSource final : public ArchiveReader::Source {
  public:
@@ -103,18 +215,29 @@ class FileSource final : public ArchiveReader::Source {
   std::uint64_t size_ = 0;
 };
 
+std::unique_ptr<ArchiveReader::Source> OpenFileSource(const std::string& path,
+                                                      FileBacking backing) {
+  GLSC_ARCHIVE_CHECK(backing != FileBacking::kMmap, ArchiveFault::kIo,
+                     "mmap backing unavailable on this platform");
+  return std::make_unique<FileSource>(path);
+}
+
+#endif
+
 }  // namespace
 
 ArchiveReader::ArchiveReader()
-    : fetched_(std::make_unique<std::atomic<std::uint64_t>>(0)) {}
+    : fetched_(std::make_unique<std::atomic<std::uint64_t>>(0)),
+      decoded_(std::make_unique<std::atomic<std::uint64_t>>(0)) {}
 
 ArchiveReader::~ArchiveReader() = default;
 ArchiveReader::ArchiveReader(ArchiveReader&&) noexcept = default;
 ArchiveReader& ArchiveReader::operator=(ArchiveReader&&) noexcept = default;
 
-ArchiveReader ArchiveReader::FromFile(const std::string& path) {
+ArchiveReader ArchiveReader::FromFile(const std::string& path,
+                                      FileBacking backing) {
   ArchiveReader reader;
-  reader.source_ = std::make_unique<FileSource>(path);
+  reader.source_ = OpenFileSource(path, backing);
   reader.ParseSource();
   return reader;
 }
@@ -138,6 +261,7 @@ ArchiveReader ArchiveReader::FromArchive(const DatasetArchive& archive) {
     // offset doubles as the entry index; length is still the payload size.
     reader.records_.push_back({entry.variable, entry.t0, entry.valid_frames,
                                static_cast<std::uint64_t>(i),
+                               entry.payload.size(), FilterSpec{},
                                entry.payload.size()});
   }
   reader.BuildVariableIndex();
@@ -170,10 +294,11 @@ void ArchiveReader::ParseSourceImpl() {
   GLSC_ARCHIVE_CHECK(std::equal(magic, magic + 4, kArchiveMagic),
                      ArchiveFault::kNotAnArchive, "not a GLSC archive");
   const std::uint8_t version = in.GetU8();
-  GLSC_ARCHIVE_CHECK(version >= 1 && version <= 3,
+  GLSC_ARCHIVE_CHECK(version >= 1 && version <= 4,
                      ArchiveFault::kNotAnArchive,
                      "unsupported archive version "
                          << static_cast<int>(version));
+  version_ = version;
   if (version >= 2) {
     const std::uint64_t codec_len = in.GetVarU64();
     GLSC_ARCHIVE_CHECK(codec_len <= 64, ArchiveFault::kCorruptRecord,
@@ -193,10 +318,16 @@ void ArchiveReader::ParseSourceImpl() {
   window_ = static_cast<std::int64_t>(in.GetU64());
   GLSC_ARCHIVE_CHECK(window_ > 0, ArchiveFault::kCorruptRecord,
                      "corrupt archive: non-positive window");
-
-  const std::uint64_t norms_offset = in.pos();
   const std::uint64_t norm_count = static_cast<std::uint64_t>(shape_[0]) *
                                    static_cast<std::uint64_t>(shape_[1]);
+
+  if (version == 4) {
+    ParseV4Tail(in.pos(), norm_count);
+    BuildVariableIndex();
+    return;
+  }
+
+  const std::uint64_t norms_offset = in.pos();
   GLSC_ARCHIVE_CHECK(
       norm_count <= (size - norms_offset) / (2 * sizeof(float)),
       ArchiveFault::kTruncated,
@@ -252,6 +383,7 @@ void ArchiveReader::ParseSourceImpl() {
       ref.valid_frames = static_cast<std::int64_t>(index_in.GetVarU64());
       ref.offset = index_in.GetVarU64();
       ref.length = index_in.GetVarU64();
+      ref.raw_size = ref.length;  // v3 records are stored raw
       GLSC_ARCHIVE_CHECK(
           ref.variable >= 0 && ref.variable < shape_[0] && ref.t0 >= 0 &&
               ref.t0 < shape_[1],
@@ -305,6 +437,7 @@ void ArchiveReader::ParseSourceImpl() {
         ref.offset = records_start + body_start;
         ref.length = tail_in.pos() - body_start;
       }
+      ref.raw_size = ref.length;  // v1/v2 records are stored raw
       GLSC_ARCHIVE_CHECK(ref.variable >= 0 && ref.variable < shape_[0] &&
                              ref.t0 >= 0 && ref.t0 < shape_[1],
                          ArchiveFault::kCorruptRecord,
@@ -317,6 +450,104 @@ void ArchiveReader::ParseSourceImpl() {
     }
   }
   BuildVariableIndex();
+}
+
+void ArchiveReader::ParseV4Tail(std::uint64_t header_end,
+                                std::uint64_t norm_count) {
+  const std::uint64_t size = source_->size();
+  GLSC_ARCHIVE_CHECK(size >= header_end + kFooterBytesV4,
+                     ArchiveFault::kTruncated,
+                     "truncated archive: missing v4 footer");
+  const std::vector<std::uint8_t> footer =
+      source_->Read(size - kFooterBytesV4, kFooterBytesV4);
+  ByteReader footer_in(footer);
+  const std::uint64_t norms_offset = footer_in.GetU64();
+  const std::uint64_t index_offset = footer_in.GetU64();
+  char index_magic[4];
+  footer_in.GetBytes(index_magic, 4);
+  GLSC_ARCHIVE_CHECK(std::equal(index_magic, index_magic + 4, kIndexMagic),
+                     ArchiveFault::kCorruptIndex,
+                     "truncated archive: bad index magic");
+  GLSC_ARCHIVE_CHECK(header_end <= norms_offset &&
+                         norms_offset <= index_offset &&
+                         index_offset <= size - kFooterBytesV4,
+                     ArchiveFault::kCorruptIndex,
+                     "corrupt archive: v4 footer offsets out of order");
+
+  // Filtered norms block.
+  const std::vector<std::uint8_t> norms_block =
+      source_->Read(norms_offset, index_offset - norms_offset);
+  ByteReader nb(norms_block);
+  const std::uint8_t norms_filter_byte = nb.GetU8();
+  const std::uint8_t norms_backend_byte = nb.GetU8();
+  const FilterSpec norms_spec =
+      FilterSpec::FromWire(norms_filter_byte, norms_backend_byte);
+  const std::uint64_t norms_raw_size = nb.GetVarU64();
+  const std::uint64_t norms_stored_size = nb.GetVarU64();
+  GLSC_ARCHIVE_CHECK(norms_stored_size == nb.remaining(),
+                     ArchiveFault::kCorruptIndex,
+                     "corrupt archive: norms block stored size "
+                         << norms_stored_size << " for " << nb.remaining()
+                         << " bytes");
+  GLSC_ARCHIVE_CHECK(norms_raw_size == norm_count * 2 * sizeof(float),
+                     ArchiveFault::kCorruptIndex,
+                     "corrupt archive: norms block raw size "
+                         << norms_raw_size << " for " << norm_count
+                         << " norms");
+  ValidateFilteredSizes(norms_spec, norms_stored_size, norms_raw_size);
+  std::vector<std::uint8_t> norms_raw(
+      static_cast<std::size_t>(norms_raw_size));
+  DecodeFiltered(norms_block.data() + nb.pos(), norms_stored_size, norms_spec,
+                 norms_raw.data(), norms_raw.size(), nullptr);
+  ByteReader norms_in(norms_raw);
+  norms_.resize(static_cast<std::size_t>(norm_count));
+  for (auto& n : norms_) {
+    n.mean = norms_in.GetF32();
+    n.range = norms_in.GetF32();
+  }
+
+  // Index over the (never read here) record area [header_end, norms_offset).
+  const std::vector<std::uint8_t> index_bytes =
+      source_->Read(index_offset, size - kFooterBytesV4 - index_offset);
+  ByteReader index_in(index_bytes);
+  const std::uint64_t count = index_in.GetVarU64();
+  // Every v4 index entry costs at least 8 bytes (six varints + two u8s).
+  GLSC_ARCHIVE_CHECK(count <= index_in.remaining() / 8,
+                     ArchiveFault::kCorruptIndex,
+                     "corrupt archive index: " << count << " entries in "
+                                               << index_in.remaining()
+                                               << " bytes");
+  records_.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    RecordRef ref;
+    ref.variable = static_cast<std::int64_t>(index_in.GetVarU64());
+    ref.t0 = static_cast<std::int64_t>(index_in.GetVarU64());
+    ref.valid_frames = static_cast<std::int64_t>(index_in.GetVarU64());
+    const std::uint8_t filter_byte = index_in.GetU8();
+    const std::uint8_t backend_byte = index_in.GetU8();
+    ref.filter = FilterSpec::FromWire(filter_byte, backend_byte);
+    ref.raw_size = index_in.GetVarU64();
+    ref.offset = index_in.GetVarU64();
+    ref.length = index_in.GetVarU64();
+    GLSC_ARCHIVE_CHECK(ref.variable >= 0 && ref.variable < shape_[0] &&
+                           ref.t0 >= 0 && ref.t0 < shape_[1],
+                       ArchiveFault::kCorruptIndex,
+                       "corrupt archive index: record outside dataset bounds");
+    GLSC_ARCHIVE_CHECK(ref.valid_frames > 0 && ref.valid_frames <= window_,
+                       ArchiveFault::kCorruptIndex,
+                       "corrupt archive index: valid_frames "
+                           << ref.valid_frames);
+    ValidateFilteredSizes(ref.filter, ref.length, ref.raw_size);
+    GLSC_ARCHIVE_CHECK(ref.offset >= header_end &&
+                           ref.length <= norms_offset - header_end &&
+                           ref.offset <= norms_offset - ref.length,
+                       ArchiveFault::kCorruptIndex,
+                       "corrupt archive index: payload span ["
+                           << ref.offset << ", +" << ref.length << ")");
+    records_.push_back(ref);
+  }
+  GLSC_ARCHIVE_CHECK(index_in.AtEnd(), ArchiveFault::kCorruptIndex,
+                     "corrupt archive index: trailing bytes");
 }
 
 void ArchiveReader::BuildVariableIndex() {
@@ -339,15 +570,48 @@ const data::FrameNorm& ArchiveReader::norm(std::int64_t variable,
   return norms_[static_cast<std::size_t>(variable * shape_[1] + t)];
 }
 
-std::vector<std::uint8_t> ArchiveReader::ReadPayload(std::size_t record) const {
+std::vector<std::uint8_t> ArchiveReader::ReadPayload(
+    std::size_t record, tensor::Workspace* ws) const {
+  std::vector<std::uint8_t> payload;
+  ReadPayloadInto(record, &payload, ws);
+  return payload;
+}
+
+void ArchiveReader::ReadPayloadInto(std::size_t record,
+                                    std::vector<std::uint8_t>* out,
+                                    tensor::Workspace* ws) const {
   GLSC_CHECK_MSG(record < records_.size(), "record index out of range");
   const RecordRef& ref = records_[record];
   if (archive_ != nullptr) {
-    return archive_->entries()[static_cast<std::size_t>(ref.offset)].payload;
+    *out = archive_->entries()[static_cast<std::size_t>(ref.offset)].payload;
+    return;
   }
-  std::vector<std::uint8_t> payload = source_->Read(ref.offset, ref.length);
   fetched_->fetch_add(ref.length, std::memory_order_relaxed);
-  return payload;
+  if (ref.filter.IsRaw()) {
+    // v1-v3 and honestly-raw v4 records: the stored bytes ARE the payload.
+    out->resize(static_cast<std::size_t>(ref.length));
+    source_->ReadAt(ref.offset, ref.length, out->data());
+    decoded_->fetch_add(ref.length, std::memory_order_relaxed);
+    return;
+  }
+  // Filtered record: fetch the stored bytes into workspace scratch (heap when
+  // no workspace is wired through) and invert the declared chain. The sizes
+  // were validated against the spec at parse time.
+  out->resize(static_cast<std::size_t>(ref.raw_size));
+  if (ws != nullptr) {
+    tensor::Workspace::Scope scope(ws);
+    auto* stored = reinterpret_cast<std::uint8_t*>(
+        ws->Allocate(static_cast<std::int64_t>((ref.length + 3) / 4)));
+    source_->ReadAt(ref.offset, ref.length, stored);
+    DecodeFiltered(stored, static_cast<std::size_t>(ref.length), ref.filter,
+                   out->data(), out->size(), ws);
+  } else {
+    const std::vector<std::uint8_t> stored =
+        source_->Read(ref.offset, ref.length);
+    DecodeFiltered(stored.data(), stored.size(), ref.filter, out->data(),
+                   out->size(), nullptr);
+  }
+  decoded_->fetch_add(ref.raw_size, std::memory_order_relaxed);
 }
 
 const std::vector<std::uint8_t>* ArchiveReader::PayloadView(
@@ -379,6 +643,10 @@ std::vector<std::size_t> ArchiveReader::RecordsFor(std::int64_t variable,
 
 std::uint64_t ArchiveReader::payload_bytes_fetched() const {
   return fetched_->load(std::memory_order_relaxed);
+}
+
+std::uint64_t ArchiveReader::decoded_payload_bytes() const {
+  return decoded_->load(std::memory_order_relaxed);
 }
 
 std::uint64_t ArchiveReader::archive_bytes() const {

@@ -11,15 +11,20 @@
 //     codec->DecompressWindow(reader.ReadPayload(i));   // only these bytes
 //   }
 //
-// For a v3 archive (container.h) the reader fetches the header from the
-// front, the 12-byte footer from the back, and the index block the footer
-// points at — payload bytes are read lazily, one record at a time. v1/v2
+// For a v3/v4 archive (container.h) the reader fetches the header from the
+// front, the fixed footer from the back, and the index block the footer
+// points at — payload bytes are read lazily, one record at a time. v4 records
+// may be filtered (core/filters.h); ReadPayload inverts the declared chain
+// transparently, so callers always receive the raw codec payload. v1/v2
 // archives carry no index, so the reader scans the record area once to build
 // one; random access still works, it just costs a full read up front.
 //
-// ReadPayload is safe to call from multiple threads concurrently (file reads
-// are serialized internally), which is what serve::DecodeScheduler's worker
-// fan-out relies on.
+// File-backed readers default to a read-only mmap of the archive (page-cache
+// backed random access, no syscall per record) and fall back to positioned
+// pread when mapping is unavailable; both are byte-identical and lock-free,
+// so ReadPayload is safe to call from multiple threads concurrently — what
+// serve::DecodeScheduler's worker fan-out relies on. The mmap backing assumes
+// the file is not truncated while open (standard mmap caveat).
 #pragma once
 
 #include <atomic>
@@ -30,6 +35,10 @@
 
 #include "core/container.h"
 #include "util/status.h"
+
+namespace glsc::tensor {
+class Workspace;
+}  // namespace glsc::tensor
 
 namespace glsc::core {
 
@@ -62,20 +71,32 @@ class ArchiveError : public StatusError {
   ArchiveFault fault_;
 };
 
-// One record's metadata plus the byte span of its payload inside the archive.
+// One record's metadata plus the byte span of its STORED payload inside the
+// archive. For v1-v3 records (and raw v4 records) stored == raw, filter is
+// the identity and raw_size == length.
 struct RecordRef {
   std::int64_t variable = 0;
   std::int64_t t0 = 0;
   std::int64_t valid_frames = 0;
-  std::uint64_t offset = 0;  // absolute payload offset (see backing notes)
-  std::uint64_t length = 0;  // payload byte count
+  std::uint64_t offset = 0;    // absolute stored-payload offset (see backing)
+  std::uint64_t length = 0;    // stored (on-disk) byte count
+  FilterSpec filter;           // how the stored bytes were filtered (v4)
+  std::uint64_t raw_size = 0;  // unfiltered payload byte count
+};
+
+// How FromFile backs positioned reads.
+enum class FileBacking : std::uint8_t {
+  kAuto = 0,   // mmap, falling back to pread when mapping fails
+  kMmap = 1,   // read-only mmap only; throws ArchiveError(kIo) if unavailable
+  kPread = 2,  // positioned pread per record (no mapping)
 };
 
 class ArchiveReader {
  public:
-  // Opens an archive file. v3 archives are indexed without reading the record
-  // area; v1/v2 archives are scanned once.
-  static ArchiveReader FromFile(const std::string& path);
+  // Opens an archive file. v3/v4 archives are indexed without reading the
+  // record area; v1/v2 archives are scanned once.
+  static ArchiveReader FromFile(const std::string& path,
+                                FileBacking backing = FileBacking::kAuto);
   // Same over an in-memory byte buffer (takes ownership of the copy).
   static ArchiveReader FromBytes(std::vector<std::uint8_t> bytes);
   // Wraps an already-deserialized archive without copying its payloads. The
@@ -94,12 +115,21 @@ class ArchiveReader {
   const std::string& codec() const { return codec_; }
   const Shape& dataset_shape() const { return shape_; }
   std::int64_t window() const { return window_; }
+  // Container version of the backing bytes (0 for FromArchive readers).
+  int version() const { return version_; }
   const data::FrameNorm& norm(std::int64_t variable, std::int64_t t) const;
   const std::vector<RecordRef>& records() const { return records_; }
 
-  // Fetches one record's payload. File-backed v3 readers read exactly that
-  // record's byte span; thread-safe.
-  std::vector<std::uint8_t> ReadPayload(std::size_t record) const;
+  // Fetches one record's RAW payload, inverting any v4 filter chain.
+  // File-backed readers read exactly that record's stored byte span;
+  // thread-safe. Filter/LZ scratch comes from `ws` when non-null (the reader
+  // opens its own Workspace::Scope), heap otherwise.
+  std::vector<std::uint8_t> ReadPayload(std::size_t record,
+                                        tensor::Workspace* ws = nullptr) const;
+  // Same, reusing `out`'s capacity — with a warm Workspace this makes
+  // steady-state filtered decode allocation-free.
+  void ReadPayloadInto(std::size_t record, std::vector<std::uint8_t>* out,
+                       tensor::Workspace* ws = nullptr) const;
 
   // Zero-copy alternative when the backing already holds the payload as its
   // own vector (FromArchive readers): returns a pointer into the archive, or
@@ -112,9 +142,14 @@ class ArchiveReader {
                                       std::int64_t t_begin,
                                       std::int64_t t_end) const;
 
-  // Payload bytes fetched through ReadPayload so far — lets tests and benches
-  // verify that a window query does not drag the whole archive through I/O.
+  // STORED (on-disk, possibly compressed) payload bytes fetched through
+  // ReadPayload so far — lets tests and benches verify that a window query
+  // does not drag the whole archive through I/O, and that filtered archives
+  // actually fetch fewer bytes than raw ones.
   std::uint64_t payload_bytes_fetched() const;
+  // RAW payload bytes handed to callers after unfiltering. Equal to
+  // payload_bytes_fetched() for unfiltered archives.
+  std::uint64_t decoded_payload_bytes() const;
   // Total size of the backing stream (0 for FromArchive readers).
   std::uint64_t archive_bytes() const;
 
@@ -124,10 +159,13 @@ class ArchiveReader {
   ArchiveReader();
   void ParseSource();      // typed-error wrapper around ParseSourceImpl
   void ParseSourceImpl();
+  // v4: footer -> filtered norms block -> index (record area never read).
+  void ParseV4Tail(std::uint64_t header_end, std::uint64_t norm_count);
   void BuildVariableIndex();
 
   std::string codec_ = "glsc";
   Shape shape_;
+  int version_ = 0;
   std::int64_t window_ = 0;
   std::vector<data::FrameNorm> norms_;  // unused when archive_ is set
   std::vector<RecordRef> records_;
@@ -137,6 +175,7 @@ class ArchiveReader {
   std::unique_ptr<Source> source_;           // file/bytes backing
   const DatasetArchive* archive_ = nullptr;  // borrowed backing
   std::unique_ptr<std::atomic<std::uint64_t>> fetched_;
+  std::unique_ptr<std::atomic<std::uint64_t>> decoded_;
 };
 
 }  // namespace glsc::core

@@ -1,49 +1,70 @@
 // On-disk container format for compressed data.
 //
-// Version 3 is the codec-agnostic archive of v2 plus a random-access footer
-// index: every record carries an opaque per-codec payload produced through
-// the api::Compressor interface, the header names the codec (registry key)
-// that wrote it, and a trailing index locates every record's payload bytes so
-// a reader can fetch one record without parsing the others. A
+// Version 4 adds a lossless filter pipeline and in-place appendability to the
+// v3 random-access archive: every record (and the norms block) declares a
+// filter chain + lossless backend (core/filters.h) applied over its opaque
+// per-codec payload at serialize time and inverted transparently on read. A
 // `DatasetArchive` packs the records for a whole [V, T, H, W] dataset —
 // per-frame normalization parameters included — so decompression needs only
 // the archive file plus the model artifact. Layout (little-endian):
 //
-//   archive  := magic "GLSC" u8 version=3 | string codec
+//   archive  := magic "GLSC" u8 version=4 | string codec
 //               | u64 V,T,H,W | u64 window
-//               | V*T x (f32 mean, f32 range) | varint count | count records
-//               | index | footer
+//               | records | norms-block | index | footer
 //   record   := varint variable | varint t0 | varint valid_frames
-//               | varint |payload| payload-bytes
+//               | u8 filter | u8 backend | varint raw-size
+//               | varint stored-size | stored-bytes
+//   norms    := u8 filter | u8 backend | varint raw-size
+//               | varint stored-size | stored-bytes     (raw = V*T x
+//               (f32 mean, f32 range))
 //   index    := varint count | count x (varint variable | varint t0
-//               | varint valid_frames | varint offset | varint |payload|)
-//   footer   := u64 index-offset | magic "GIDX"
+//               | varint valid_frames | u8 filter | u8 backend
+//               | varint raw-size | varint offset | varint stored-size)
+//   footer   := u64 norms-offset | u64 index-offset | magic "GIDX"
 //
 // The index mirrors each record's metadata and stores the ABSOLUTE byte
-// offset of its payload, so core::ArchiveReader (archive_reader.h) serves a
-// record by reading the header from the front, the fixed 12-byte footer from
-// the back, the index block the footer points at, and then only the payload
-// bytes a query actually touches — the c-blosc2 super-chunk trick applied to
-// codec-opaque diffusion records.
+// offset of its stored payload, so core::ArchiveReader (archive_reader.h)
+// serves a record by reading the header from the front, the fixed 20-byte
+// footer from the back, the index block the footer points at, and then only
+// the stored bytes a query actually touches — the c-blosc2 super-chunk trick
+// applied to codec-opaque diffusion records.
+//
+// v4 design notes:
+//  - The record area carries no leading count and the norms moved out of the
+//    header into the rewritten tail, so AppendToFile can extend an archive by
+//    overwriting from norms-offset with the new records + rebuilt
+//    norms/index/footer — old record bytes are never rewritten (cf.
+//    blosc2_schunk_append_file). The header's fixed-width u64 T is updated
+//    in place.
+//  - Filter selection is per record by trial on a sampled prefix (see
+//    core/filters.h); incompressible payloads honestly store raw
+//    (filter = backend = none), so decode cost is only paid where bytes were
+//    actually saved.
+//  - In-memory ArchiveEntry payloads are ALWAYS raw: filtering exists only
+//    on the serialized boundary, and codecs never see stored bytes.
 //
 // `valid_frames` <= window: streams whose T is not a multiple of the window
 // pad the final record up to the window length; only the first valid_frames
 // decoded frames are real (see api/session.h).
 //
-// Version-2 archives (no index/footer) and version-1 archives (GLSC-only
-// records, no codec id, no valid_frames) still load: v1 record bodies are
-// bit-identical to the "glsc" codec payload, so deserialization lifts them
-// into v3 entries in place, and ArchiveReader rebuilds the missing index by
-// scanning the record area once.
+// Version 1-3 archives still load unchanged: v3 (inline norms, raw records,
+// 12-byte footer) deserializes on the legacy path, v2 lacks the index/footer,
+// and v1 record bodies are bit-identical to the "glsc" codec payload, so
+// deserialization lifts them into current entries in place. Serialize can
+// still WRITE the v3 layout (ArchiveWriteOptions::version = 3) for
+// compatibility tests and raw-vs-filtered benchmarks.
 //
-// All length/count fields are validated against the remaining input before
-// any allocation, so a truncated or hostile archive raises std::runtime_error
-// instead of OOMing or crashing.
+// All length/count/size fields are validated against the remaining input
+// before any allocation, so a truncated or hostile archive raises a typed
+// core::ArchiveError (via filters) or std::runtime_error instead of OOMing
+// or crashing.
 #pragma once
 
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "core/filters.h"
 #include "core/glsc_compressor.h"
 #include "data/dataset.h"
 
@@ -61,7 +82,16 @@ struct ArchiveEntry {
   std::int64_t variable = 0;
   std::int64_t t0 = 0;
   std::int64_t valid_frames = 0;       // true (un-padded) frames in the record
-  std::vector<std::uint8_t> payload;   // codec-specific bytes
+  std::vector<std::uint8_t> payload;   // codec-specific bytes (always RAW)
+};
+
+struct ArchiveWriteOptions {
+  // 4 = filtered, appendable (default); 3 = the raw pre-filter layout, kept
+  // for compatibility tests and raw-vs-filtered benchmarks.
+  int version = 4;
+  // Test/fuzz hook (v4 only): bypass trial selection and force this spec on
+  // every record and the norms block.
+  std::optional<FilterSpec> forced_filter;
 };
 
 class DatasetArchive {
@@ -84,11 +114,27 @@ class DatasetArchive {
   const std::vector<ArchiveEntry>& entries() const { return entries_; }
   const data::FrameNorm& norm(std::int64_t variable, std::int64_t t) const;
 
-  std::vector<std::uint8_t> Serialize() const;
+  std::vector<std::uint8_t> Serialize(
+      const ArchiveWriteOptions& options = {}) const;
   static DatasetArchive Deserialize(const std::vector<std::uint8_t>& bytes);
 
   void WriteFile(const std::string& path) const;
   static DatasetArchive ReadFile(const std::string& path);
+
+  // Extends the v4 archive at `path` with `more`'s records WITHOUT rewriting
+  // the existing record bytes: overwrites from the old norms-offset with
+  // more's (filtered) records, the merged norms block, the rebuilt index and
+  // a fresh footer, then patches the header's u64 T in place. more's t0s are
+  // shifted by the existing archive's frame count, so `more` is authored as
+  // its own [V, T_more, H, W] archive. codec, V, H, W and window must match.
+  // The result is byte-identical to one-shot serialization of the combined
+  // record set (filter selection is deterministic in the payload bytes).
+  // Creates the file when it does not exist. v1-v3 archives are rejected —
+  // their layout cannot grow in place; rewrite them through Serialize.
+  // Not crash-atomic: a failure mid-append leaves the tail unreadable (the
+  // footer is written last), like any in-place container mutation.
+  static void AppendToFile(const std::string& path, const DatasetArchive& more,
+                           const ArchiveWriteOptions& options = {});
 
   // Decompresses every record back into a full [V, T, H, W] tensor in
   // physical units (frames the archive does not cover stay zero). `codec`

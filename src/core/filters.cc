@@ -1,0 +1,394 @@
+#include "core/filters.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "core/archive_reader.h"  // ArchiveError
+#include "tensor/simd/kernels.h"
+#include "tensor/workspace.h"
+#include "util/check.h"
+
+namespace glsc::core {
+namespace {
+
+constexpr std::uint64_t kMaxGlzInput = 1ull << 31;
+// One 3-byte sequence (token + u16 offset) can emit 15+4 match bytes without
+// extension bytes, and every extension byte adds at most 255 — so the
+// worst-case decode expansion per stored byte is bounded by 255.
+constexpr std::uint64_t kGlzMaxExpansion = 255;
+
+#define GLSC_FILTER_CHECK(cond, msg)                                      \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::ostringstream glsc_os_;                                        \
+      glsc_os_ << msg;                                                    \
+      throw ::glsc::core::ArchiveError(ArchiveFault::kCorruptRecord,      \
+                                       glsc_os_.str());                   \
+    }                                                                     \
+  } while (0)
+
+int Log2Elem(std::int64_t elem) {
+  switch (elem) {
+    case 1:
+      return 0;
+    case 2:
+      return 1;
+    case 4:
+      return 2;
+    case 8:
+      return 3;
+    default:
+      GLSC_CHECK_MSG(false, "filter element size " << elem);
+      return 0;
+  }
+}
+
+// Byte scratch that draws from the caller's Workspace when available (the
+// serving path's steady-state zero-heap-allocation invariant) and from the
+// heap otherwise. Workspace::Allocate hands out floats; bytes are rounded up.
+class ByteScratch {
+ public:
+  explicit ByteScratch(tensor::Workspace* ws) : ws_(ws) {}
+
+  std::uint8_t* Get(std::size_t n) {
+    if (n == 0) return nullptr;
+    if (ws_ != nullptr) {
+      return reinterpret_cast<std::uint8_t*>(
+          ws_->Allocate(static_cast<std::int64_t>((n + 3) / 4)));
+    }
+    heap_.emplace_back(n);
+    return heap_.back().data();
+  }
+
+ private:
+  tensor::Workspace* ws_;
+  std::vector<std::vector<std::uint8_t>> heap_;
+};
+
+// ---- chain transforms ----
+
+// Bitshuffle processes the largest 8*elem-divisible prefix; the tail is
+// copied verbatim (see the layout comment in filters.h).
+std::int64_t BitshuffledPrefix(std::size_t n, std::int64_t elem) {
+  const std::int64_t nelem_p =
+      (static_cast<std::int64_t>(n) / elem) & ~std::int64_t{7};
+  return nelem_p * elem;
+}
+
+void BitshuffleForward(const std::uint8_t* src, std::uint8_t* dst,
+                       std::size_t n, std::int64_t elem, ByteScratch* scratch) {
+  const auto& k = simd::ActiveKernels();
+  const std::int64_t prefix = BitshuffledPrefix(n, elem);
+  const std::int64_t nelem_p = prefix / elem;
+  if (elem == 1) {
+    k.bit_transpose(src, dst, prefix);
+  } else if (prefix > 0) {
+    std::uint8_t* planes = scratch->Get(static_cast<std::size_t>(prefix));
+    k.shuffle_bytes(src, planes, nelem_p, elem);
+    for (std::int64_t p = 0; p < elem; ++p) {
+      k.bit_transpose(planes + p * nelem_p, dst + p * nelem_p, nelem_p);
+    }
+  }
+  if (static_cast<std::size_t>(prefix) < n) {
+    std::memcpy(dst + prefix, src + prefix, n - prefix);
+  }
+}
+
+void BitshuffleInverse(const std::uint8_t* src, std::uint8_t* dst,
+                       std::size_t n, std::int64_t elem, ByteScratch* scratch) {
+  const auto& k = simd::ActiveKernels();
+  const std::int64_t prefix = BitshuffledPrefix(n, elem);
+  const std::int64_t nelem_p = prefix / elem;
+  if (elem == 1) {
+    k.bit_untranspose(src, dst, prefix);
+  } else if (prefix > 0) {
+    std::uint8_t* planes = scratch->Get(static_cast<std::size_t>(prefix));
+    for (std::int64_t p = 0; p < elem; ++p) {
+      k.bit_untranspose(src + p * nelem_p, planes + p * nelem_p, nelem_p);
+    }
+    k.unshuffle_bytes(planes, dst, nelem_p, elem);
+  }
+  if (static_cast<std::size_t>(prefix) < n) {
+    std::memcpy(dst + prefix, src + prefix, n - prefix);
+  }
+}
+
+// ---- glz encoder ----
+
+void PutExtLength(std::vector<std::uint8_t>* out, std::size_t v) {
+  while (v >= 255) {
+    out->push_back(255);
+    v -= 255;
+  }
+  out->push_back(static_cast<std::uint8_t>(v));
+}
+
+void EmitLiterals(std::vector<std::uint8_t>* out, const std::uint8_t* src,
+                  std::size_t begin, std::size_t end) {
+  const std::size_t lit = end - begin;
+  if (lit == 0) return;
+  out->push_back(static_cast<std::uint8_t>(std::min<std::size_t>(lit, 15)
+                                           << 4));
+  if (lit >= 15) PutExtLength(out, lit - 15);
+  out->insert(out->end(), src + begin, src + end);
+}
+
+void EmitSequence(std::vector<std::uint8_t>* out, const std::uint8_t* src,
+                  std::size_t anchor, std::size_t ip, std::size_t offset,
+                  std::size_t len) {
+  const std::size_t lit = ip - anchor;
+  const std::size_t ml = len - 4;
+  out->push_back(static_cast<std::uint8_t>(
+      (std::min<std::size_t>(lit, 15) << 4) | std::min<std::size_t>(ml, 15)));
+  if (lit >= 15) PutExtLength(out, lit - 15);
+  out->insert(out->end(), src + anchor, src + ip);
+  out->push_back(static_cast<std::uint8_t>(offset & 0xFF));
+  out->push_back(static_cast<std::uint8_t>(offset >> 8));
+  if (ml >= 15) PutExtLength(out, ml - 15);
+}
+
+}  // namespace
+
+std::uint8_t FilterSpec::WireFilter() const {
+  return static_cast<std::uint8_t>(static_cast<int>(chain) |
+                                   (Log2Elem(elem) << 4));
+}
+
+FilterSpec FilterSpec::FromWire(std::uint8_t filter, std::uint8_t backend) {
+  GLSC_FILTER_CHECK((filter & ~0x73u) == 0,
+                    "corrupt record: reserved filter bits 0x"
+                        << std::hex << static_cast<int>(filter));
+  FilterSpec spec;
+  spec.chain = static_cast<FilterChain>(filter & 0x3);
+  const int log2_elem = (filter >> 4) & 0x7;
+  GLSC_FILTER_CHECK(log2_elem <= 3, "corrupt record: filter element size 2^"
+                                        << log2_elem);
+  spec.elem = std::int64_t{1} << log2_elem;
+  GLSC_FILTER_CHECK(spec.chain != FilterChain::kNone || spec.elem == 1,
+                    "corrupt record: element size on an empty filter chain");
+  GLSC_FILTER_CHECK(backend <= 1, "corrupt record: unknown filter backend "
+                                      << static_cast<int>(backend));
+  spec.backend = static_cast<FilterBackend>(backend);
+  return spec;
+}
+
+void ValidateFilteredSizes(const FilterSpec& spec, std::uint64_t stored_size,
+                           std::uint64_t raw_size) {
+  GLSC_FILTER_CHECK(raw_size <= kMaxGlzInput,
+                    "corrupt record: raw payload size " << raw_size);
+  if (spec.backend == FilterBackend::kNone) {
+    GLSC_FILTER_CHECK(stored_size == raw_size,
+                      "corrupt record: unbacked filter sizes disagree ("
+                          << stored_size << " stored, " << raw_size
+                          << " raw)");
+  } else {
+    GLSC_FILTER_CHECK(raw_size <= stored_size * kGlzMaxExpansion + 64,
+                      "corrupt record: raw size " << raw_size
+                                                  << " implausible for "
+                                                  << stored_size
+                                                  << " stored bytes");
+  }
+}
+
+std::vector<std::uint8_t> GlzCompress(const std::uint8_t* src, std::size_t n) {
+  GLSC_CHECK_MSG(n <= kMaxGlzInput, "glz input too large: " << n);
+  std::vector<std::uint8_t> out;
+  if (n == 0) return out;
+  out.reserve(n / 2 + 16);
+
+  int bits = 8;
+  while (bits < 15 && (std::size_t{1} << bits) < n) ++bits;
+  std::vector<std::uint32_t> table(std::size_t{1} << bits, 0);  // pos + 1
+  const auto hash = [bits](std::uint32_t v) {
+    return (v * 2654435761u) >> (32 - bits);
+  };
+  const auto load32 = [src](std::size_t i) {
+    std::uint32_t v;
+    std::memcpy(&v, src + i, sizeof v);
+    return v;
+  };
+
+  std::size_t ip = 0, anchor = 0, miss = 0;
+  // The margin keeps every 4-byte probe in bounds; the remainder is emitted
+  // as literals. Greedy matching with LZ4-style skip acceleration: long
+  // stretches without a match speed up instead of hammering the hash table.
+  while (ip + 13 <= n) {
+    const std::uint32_t v = load32(ip);
+    const std::uint32_t h = hash(v);
+    const std::size_t cand = table[h];
+    table[h] = static_cast<std::uint32_t>(ip + 1);
+    if (cand != 0 && ip - (cand - 1) <= 0xFFFF && load32(cand - 1) == v) {
+      const std::size_t match = cand - 1;
+      const std::size_t max_len = n - ip;
+      std::size_t len = 4;
+      while (len < max_len && src[match + len] == src[ip + len]) ++len;
+      EmitSequence(&out, src, anchor, ip, ip - match, len);
+      // Seed the table inside the match so adjacent repeats are found.
+      if (ip + len + 13 <= n) {
+        const std::size_t mid = ip + (len >> 1);
+        table[hash(load32(mid))] = static_cast<std::uint32_t>(mid + 1);
+      }
+      ip += len;
+      anchor = ip;
+      miss = 0;
+    } else {
+      ip += 1 + (miss >> 6);
+      ++miss;
+    }
+  }
+  EmitLiterals(&out, src, anchor, n);
+  return out;
+}
+
+void GlzDecompress(const std::uint8_t* src, std::size_t src_n,
+                   std::uint8_t* dst, std::size_t dst_n) {
+  std::size_t ip = 0, op = 0;
+  while (ip < src_n) {
+    const std::uint8_t token = src[ip++];
+    std::size_t lit = token >> 4;
+    if (lit == 15) {
+      std::uint8_t b;
+      do {
+        GLSC_FILTER_CHECK(ip < src_n, "corrupt glz: truncated literal length");
+        b = src[ip++];
+        lit += b;
+        GLSC_FILTER_CHECK(lit <= dst_n, "corrupt glz: literal length " << lit);
+      } while (b == 255);
+    }
+    GLSC_FILTER_CHECK(lit <= src_n - ip,
+                      "corrupt glz: literal run past input");
+    GLSC_FILTER_CHECK(lit <= dst_n - op,
+                      "corrupt glz: literal run past output");
+    if (lit != 0) {
+      std::memcpy(dst + op, src + ip, lit);
+      ip += lit;
+      op += lit;
+    }
+    if (ip == src_n) break;  // stream may end after a literal run
+    GLSC_FILTER_CHECK(src_n - ip >= 2, "corrupt glz: truncated match offset");
+    const std::size_t offset =
+        src[ip] | (static_cast<std::size_t>(src[ip + 1]) << 8);
+    ip += 2;
+    GLSC_FILTER_CHECK(offset != 0 && offset <= op,
+                      "corrupt glz: match offset " << offset << " at " << op);
+    std::size_t ml = token & 0xF;
+    if (ml == 15) {
+      std::uint8_t b;
+      do {
+        GLSC_FILTER_CHECK(ip < src_n, "corrupt glz: truncated match length");
+        b = src[ip++];
+        ml += b;
+        GLSC_FILTER_CHECK(ml <= dst_n, "corrupt glz: match length " << ml);
+      } while (b == 255);
+    }
+    ml += 4;
+    GLSC_FILTER_CHECK(ml <= dst_n - op, "corrupt glz: match past output");
+    const std::uint8_t* from = dst + op - offset;
+    if (offset >= ml) {
+      std::memcpy(dst + op, from, ml);
+    } else {
+      // Overlapping match: the copy IS the repetition, byte order matters.
+      for (std::size_t i = 0; i < ml; ++i) dst[op + i] = from[i];
+    }
+    op += ml;
+  }
+  GLSC_FILTER_CHECK(op == dst_n, "corrupt glz: decoded " << op << " of "
+                                                         << dst_n << " bytes");
+}
+
+std::vector<std::uint8_t> EncodeFiltered(const std::uint8_t* src,
+                                         std::size_t n,
+                                         const FilterSpec& spec) {
+  ByteScratch scratch(nullptr);
+  const std::uint8_t* filtered = src;
+  std::uint8_t* work = nullptr;
+  if (spec.chain == FilterChain::kDelta ||
+      spec.chain == FilterChain::kDeltaBitshuffle) {
+    work = scratch.Get(n);
+    simd::ActiveKernels().delta_encode(filtered, work,
+                                       static_cast<std::int64_t>(n),
+                                       spec.elem);
+    filtered = work;
+  }
+  if (spec.chain == FilterChain::kBitshuffle ||
+      spec.chain == FilterChain::kDeltaBitshuffle) {
+    std::uint8_t* shuffled = scratch.Get(n);
+    BitshuffleForward(filtered, shuffled, n, spec.elem, &scratch);
+    filtered = shuffled;
+  }
+  if (spec.backend == FilterBackend::kGlz) {
+    return GlzCompress(filtered, n);
+  }
+  return std::vector<std::uint8_t>(filtered, filtered + n);
+}
+
+FilteredBlock EncodeWithSelection(const std::uint8_t* src, std::size_t n,
+                                  std::int64_t elem_hint) {
+  FilteredBlock raw;
+  raw.stored.assign(src, src + n);
+  // Too small to amortize even a trial; store raw.
+  if (n < 128) return raw;
+
+  const std::size_t sample_n = std::min<std::size_t>(n, 8192);
+  const FilterSpec candidates[] = {
+      {FilterChain::kNone, 1, FilterBackend::kGlz},
+      {FilterChain::kDelta, elem_hint, FilterBackend::kGlz},
+      {FilterChain::kBitshuffle, elem_hint, FilterBackend::kGlz},
+      {FilterChain::kDeltaBitshuffle, elem_hint, FilterBackend::kGlz},
+  };
+  FilterSpec best;
+  // A candidate must beat raw storage on the sample by a real margin (2%):
+  // filtered records cost decode work, so a wash goes to raw.
+  std::size_t best_size = sample_n - sample_n / 50;
+  for (const FilterSpec& spec : candidates) {
+    const std::size_t size = EncodeFiltered(src, sample_n, spec).size();
+    if (size < best_size) {
+      best_size = size;
+      best = spec;
+    }
+  }
+  if (best.IsRaw()) return raw;
+
+  FilteredBlock chosen;
+  chosen.spec = best;
+  chosen.stored = EncodeFiltered(src, n, best);
+  // The sample can lie about the remainder; never ship an expansion.
+  if (chosen.stored.size() >= n) return raw;
+  return chosen;
+}
+
+void DecodeFiltered(const std::uint8_t* stored, std::size_t stored_n,
+                    const FilterSpec& spec, std::uint8_t* dst,
+                    std::size_t raw_n, tensor::Workspace* ws) {
+  ByteScratch scratch(ws);
+  const bool bitshuffled = spec.chain == FilterChain::kBitshuffle ||
+                           spec.chain == FilterChain::kDeltaBitshuffle;
+  const bool deltad = spec.chain == FilterChain::kDelta ||
+                      spec.chain == FilterChain::kDeltaBitshuffle;
+
+  // Stage 1: backend -> chain-filtered bytes (raw_n of them).
+  const std::uint8_t* filtered = stored;
+  if (spec.backend == FilterBackend::kGlz) {
+    // When no bitshuffle follows, decompress straight into dst and finish
+    // the delta in place — the common path touches each byte once.
+    std::uint8_t* target = bitshuffled ? scratch.Get(raw_n) : dst;
+    GlzDecompress(stored, stored_n, target, raw_n);
+    filtered = target;
+  } else {
+    GLSC_FILTER_CHECK(stored_n == raw_n,
+                      "corrupt record: unbacked filter sizes disagree");
+  }
+
+  // Stage 2: invert the chain.
+  if (bitshuffled) {
+    BitshuffleInverse(filtered, dst, raw_n, spec.elem, &scratch);
+  } else if (filtered != dst && raw_n != 0) {
+    std::memcpy(dst, filtered, raw_n);
+  }
+  if (deltad) {
+    simd::ActiveKernels().delta_decode(dst, static_cast<std::int64_t>(raw_n),
+                                       spec.elem);
+  }
+}
+
+}  // namespace glsc::core

@@ -39,8 +39,8 @@ Tensor DecodeScheduler::DecodeRecord(std::size_t record, std::size_t worker,
   const std::vector<std::uint8_t>* view = reader_->PayloadView(record);
   return view != nullptr
              ? workers_[worker]->DecompressWindow(*view, ws)
-             : workers_[worker]->DecompressWindow(reader_->ReadPayload(record),
-                                                  ws);
+             : workers_[worker]->DecompressWindow(
+                   reader_->ReadPayload(record, ws), ws);
 }
 
 std::vector<Tensor> DecodeScheduler::Fetch(
@@ -201,7 +201,7 @@ std::vector<Tensor> DecodeScheduler::Fetch(
           }
           const std::vector<std::uint8_t>* view = reader_->PayloadView(record);
           if (view == nullptr) {
-            owned_bytes.push_back(reader_->ReadPayload(record));
+            owned_bytes.push_back(reader_->ReadPayload(record, ws));
             view = &owned_bytes.back();
           }
           payloads.push_back(view);
@@ -234,7 +234,7 @@ std::vector<Tensor> DecodeScheduler::Fetch(
                 view != nullptr
                     ? workers_[worker]->DecompressWindow(*view, ws)
                     : workers_[worker]->DecompressWindow(
-                          reader_->ReadPayload(record), ws);
+                          reader_->ReadPayload(record, ws), ws);
             check_geometry(recon, record);
             publish(&j, &recon, 1);
           } catch (...) {

@@ -6,7 +6,11 @@
 // Numerics contract: variants of the same kernel may differ in rounding
 // (vector exp is a polynomial, reductions re-associate), so outputs are only
 // approximately equal across levels. Anything that must be bit-exact across
-// levels (the entropy coders) stays in integer code outside this table.
+// levels (the entropy coders) stays in integer code outside this table —
+// with one deliberate exception: the container byte-filter kernels at the
+// bottom of KernelTable move bits only (no arithmetic on values), so every
+// level is REQUIRED to be byte-identical to the scalar reference. The
+// filters_test suite enforces that identity at each dispatch level.
 #pragma once
 
 #include <cstdint>
@@ -52,6 +56,30 @@ struct KernelTable {
   // then applies the selected activation in place.
   void (*bias_act_row)(float* row, std::int64_t n, float row_bias,
                        const float* col_bias, int act);
+
+  // ---- container byte filters (bit-exact at every level) ----
+  // Splits `nelem` elements of `elem` bytes each into contiguous byte planes:
+  //   dst[k * nelem + i] = src[i * elem + k].
+  // unshuffle_bytes is the exact inverse. src and dst must not alias.
+  void (*shuffle_bytes)(const std::uint8_t* src, std::uint8_t* dst,
+                        std::int64_t nelem, std::int64_t elem);
+  void (*unshuffle_bytes)(const std::uint8_t* src, std::uint8_t* dst,
+                          std::int64_t nelem, std::int64_t elem);
+  // Transposes one byte plane of n bytes (n % 8 == 0) into 8 bit planes of
+  // n/8 bytes each:
+  //   bit t of dst[b * n/8 + j] = bit b of src[8*j + t].
+  // bit_untranspose is the exact inverse. src and dst must not alias.
+  void (*bit_transpose)(const std::uint8_t* src, std::uint8_t* dst,
+                        std::int64_t n);
+  void (*bit_untranspose)(const std::uint8_t* src, std::uint8_t* dst,
+                          std::int64_t n);
+  // Byte delta with lag `lag` >= 1:
+  //   dst[i] = src[i] - src[i - lag]  (mod 256; identity for i < lag).
+  // src and dst must not alias.
+  void (*delta_encode)(const std::uint8_t* src, std::uint8_t* dst,
+                       std::int64_t n, std::int64_t lag);
+  // In-place inverse (lagged prefix sum): buf[i] += buf[i - lag].
+  void (*delta_decode)(std::uint8_t* buf, std::int64_t n, std::int64_t lag);
 };
 
 // Table for the current dispatch level (env overrides + ScopedIsaOverride

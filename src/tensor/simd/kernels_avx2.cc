@@ -9,6 +9,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #endif
 
 namespace glsc::simd {
@@ -292,6 +293,118 @@ void BiasActRowAvx2(float* row, std::int64_t n, float row_bias,
   }
 }
 
+// ---- container byte filters ----
+// Same movemask construction as the SSE2 unit, twice as wide: a 32-byte load
+// covers four 8-byte groups, _mm256_movemask_epi8 extracts one bit plane for
+// all four at once, and _mm256_add_epi8(x, x) is the byte-local left shift.
+// Byte-identical to the scalar reference (pure bit movement).
+
+void BitTransposeAvx2(const std::uint8_t* src, std::uint8_t* dst,
+                      std::int64_t n) {
+  const std::int64_t stride = n / 8;
+  std::int64_t j = 0;
+  for (; j + 4 <= stride; j += 4) {
+    __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + 8 * j));
+    for (int b = 7; b >= 0; --b) {
+      const std::uint32_t mask =
+          static_cast<std::uint32_t>(_mm256_movemask_epi8(x));
+      std::memcpy(dst + b * stride + j, &mask, sizeof mask);
+      x = _mm256_add_epi8(x, x);
+    }
+  }
+  for (; j < stride; ++j) {
+    for (int b = 0; b < 8; ++b) {
+      std::uint8_t out = 0;
+      for (int t = 0; t < 8; ++t) {
+        out |= static_cast<std::uint8_t>(((src[8 * j + t] >> b) & 1) << t);
+      }
+      dst[b * stride + j] = out;
+    }
+  }
+}
+
+void BitUntransposeAvx2(const std::uint8_t* src, std::uint8_t* dst,
+                        std::int64_t n) {
+  const std::int64_t stride = n / 8;
+  std::int64_t j = 0;
+  // 32 groups per iteration. AVX2 unpacks operate per 128-bit lane, so the
+  // 3-stage byte-transpose tree from the SSE2 unit lands columns j..j+16 in
+  // lane 0 and columns j+16..j+32 in lane 1 of each register; the movemask
+  // core then emits four output groups per mask (two per lane).
+  for (; j + 32 <= stride; j += 32) {
+    __m256i x[8];
+    for (int b = 0; b < 8; ++b) {
+      x[b] = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(src + b * stride + j));
+    }
+    __m256i u[8];
+    for (int b = 0; b < 4; ++b) {
+      u[2 * b] = _mm256_unpacklo_epi8(x[2 * b], x[2 * b + 1]);
+      u[2 * b + 1] = _mm256_unpackhi_epi8(x[2 * b], x[2 * b + 1]);
+    }
+    __m256i w[8];
+    for (int h = 0; h < 2; ++h) {
+      w[4 * h] = _mm256_unpacklo_epi16(u[h], u[2 + h]);
+      w[4 * h + 1] = _mm256_unpackhi_epi16(u[h], u[2 + h]);
+      w[4 * h + 2] = _mm256_unpacklo_epi16(u[4 + h], u[6 + h]);
+      w[4 * h + 3] = _mm256_unpackhi_epi16(u[4 + h], u[6 + h]);
+    }
+    __m256i r[8];
+    for (int h = 0; h < 2; ++h) {
+      r[4 * h] = _mm256_unpacklo_epi32(w[4 * h], w[4 * h + 2]);
+      r[4 * h + 1] = _mm256_unpackhi_epi32(w[4 * h], w[4 * h + 2]);
+      r[4 * h + 2] = _mm256_unpacklo_epi32(w[4 * h + 1], w[4 * h + 3]);
+      r[4 * h + 3] = _mm256_unpackhi_epi32(w[4 * h + 1], w[4 * h + 3]);
+    }
+    for (int h = 0; h < 2; ++h) {
+      for (int c = 0; c < 4; ++c) {
+        __m256i v = r[4 * h + c];
+        // Lane 0 = columns g0, g0+1; lane 1 = columns g0+16, g0+17.
+        const std::int64_t g0 = j + 8 * h + 2 * c;
+        for (int s = 0; s < 8; ++s) {
+          const std::uint32_t mask =
+              static_cast<std::uint32_t>(_mm256_movemask_epi8(v));
+          dst[8 * g0 + 7 - s] = static_cast<std::uint8_t>(mask & 0xFF);
+          dst[8 * (g0 + 1) + 7 - s] =
+              static_cast<std::uint8_t>((mask >> 8) & 0xFF);
+          dst[8 * (g0 + 16) + 7 - s] =
+              static_cast<std::uint8_t>((mask >> 16) & 0xFF);
+          dst[8 * (g0 + 17) + 7 - s] =
+              static_cast<std::uint8_t>(mask >> 24);
+          v = _mm256_add_epi8(v, v);
+        }
+      }
+    }
+  }
+  for (; j < stride; ++j) {
+    for (int t = 0; t < 8; ++t) {
+      std::uint8_t out = 0;
+      for (int b = 0; b < 8; ++b) {
+        out |= static_cast<std::uint8_t>(((src[b * stride + j] >> t) & 1)
+                                         << b);
+      }
+      dst[8 * j + t] = out;
+    }
+  }
+}
+
+void DeltaEncodeAvx2(const std::uint8_t* src, std::uint8_t* dst,
+                     std::int64_t n, std::int64_t lag) {
+  const std::int64_t head = lag < n ? lag : n;
+  std::memcpy(dst, src, static_cast<std::size_t>(head));
+  std::int64_t i = head;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i cur =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    const __m256i prev =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i - lag));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_sub_epi8(cur, prev));
+  }
+  for (; i < n; ++i) dst[i] = static_cast<std::uint8_t>(src[i] - src[i - lag]);
+}
+
 const KernelTable kAvx2Table = {
     IsaLevel::kAVX2,
     kMr,
@@ -304,6 +417,13 @@ const KernelTable kAvx2Table = {
     NormAffineAvx2,
     NormAffineVecAvx2,
     BiasActRowAvx2,
+    nullptr,  // shuffle_bytes   (inherited from scalar)
+    nullptr,  // unshuffle_bytes (inherited from scalar)
+    BitTransposeAvx2,
+    BitUntransposeAvx2,
+    DeltaEncodeAvx2,
+    nullptr,  // delta_decode    (inherited from SSE2 — the scan is shuffle-
+              // bound in 128-bit steps either way)
 };
 
 }  // namespace

@@ -8,6 +8,8 @@
 
 #if defined(__AVX512F__)
 #include <immintrin.h>
+
+#include <cstring>
 #endif
 
 namespace glsc::simd {
@@ -78,6 +80,57 @@ void GemmMicroAvx512(std::int64_t kb, const float* a_panel,
   }
 }
 
+#if defined(__AVX512BW__)
+
+// ---- container byte filters ----
+// AVX-512 movemask construction: _mm512_movepi8_mask extracts the MSB of all
+// 64 bytes (eight 8-byte groups) in one instruction. These use AVX512BW
+// byte ops, which DetectIsa() does NOT probe (it gates kAVX512 on avx512f
+// alone for the float kernels), so GetAvx512Table() below only installs them
+// after an explicit runtime avx512bw check. Byte-identical to scalar.
+
+void BitTransposeAvx512(const std::uint8_t* src, std::uint8_t* dst,
+                        std::int64_t n) {
+  const std::int64_t stride = n / 8;
+  std::int64_t j = 0;
+  for (; j + 8 <= stride; j += 8) {
+    __m512i x =
+        _mm512_loadu_si512(reinterpret_cast<const void*>(src + 8 * j));
+    for (int b = 7; b >= 0; --b) {
+      const std::uint64_t mask = _cvtmask64_u64(_mm512_movepi8_mask(x));
+      std::memcpy(dst + b * stride + j, &mask, sizeof mask);
+      x = _mm512_add_epi8(x, x);
+    }
+  }
+  for (; j < stride; ++j) {
+    for (int b = 0; b < 8; ++b) {
+      std::uint8_t out = 0;
+      for (int t = 0; t < 8; ++t) {
+        out |= static_cast<std::uint8_t>(((src[8 * j + t] >> b) & 1) << t);
+      }
+      dst[b * stride + j] = out;
+    }
+  }
+}
+
+void DeltaEncodeAvx512(const std::uint8_t* src, std::uint8_t* dst,
+                       std::int64_t n, std::int64_t lag) {
+  const std::int64_t head = lag < n ? lag : n;
+  std::memcpy(dst, src, static_cast<std::size_t>(head));
+  std::int64_t i = head;
+  for (; i + 64 <= n; i += 64) {
+    const __m512i cur =
+        _mm512_loadu_si512(reinterpret_cast<const void*>(src + i));
+    const __m512i prev =
+        _mm512_loadu_si512(reinterpret_cast<const void*>(src + i - lag));
+    _mm512_storeu_si512(reinterpret_cast<void*>(dst + i),
+                        _mm512_sub_epi8(cur, prev));
+  }
+  for (; i < n; ++i) dst[i] = static_cast<std::uint8_t>(src[i] - src[i - lag]);
+}
+
+#endif  // defined(__AVX512BW__)
+
 const KernelTable kAvx512Table = {
     IsaLevel::kAVX512,
     kMr,
@@ -90,11 +143,33 @@ const KernelTable kAvx512Table = {
     nullptr,  // norm_affine
     nullptr,  // norm_affine_vec
     nullptr,  // bias_act_row
+    nullptr,  // shuffle_bytes
+    nullptr,  // unshuffle_bytes
+    nullptr,  // bit_transpose   (installed at runtime when avx512bw exists)
+    nullptr,  // bit_untranspose (inherited from AVX2)
+    nullptr,  // delta_encode    (installed at runtime when avx512bw exists)
+    nullptr,  // delta_decode    (inherited from SSE2)
 };
 
 }  // namespace
 
-const KernelTable* GetAvx512Table() { return &kAvx512Table; }
+const KernelTable* GetAvx512Table() {
+  // avx512f guarantees the GEMM kernel only; the byte filters need avx512bw
+  // (movepi8_mask / add_epi8 on zmm), present on every server part since
+  // Skylake-SP but absent on Knights-family avx512f-only CPUs.
+  static const KernelTable table = [] {
+    KernelTable t = kAvx512Table;
+#if defined(__AVX512BW__)
+    __builtin_cpu_init();
+    if (__builtin_cpu_supports("avx512bw")) {
+      t.bit_transpose = BitTransposeAvx512;
+      t.delta_encode = DeltaEncodeAvx512;
+    }
+#endif
+    return t;
+  }();
+  return &table;
+}
 
 #else  // !defined(__AVX512F__)
 

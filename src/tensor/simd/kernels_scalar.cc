@@ -3,6 +3,7 @@
 // baseline the micro-benchmarks compare against.
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "tensor/simd/kernels.h"
 
@@ -86,6 +87,82 @@ void NormAffineVecScalar(const float* x, float mean, float inv_std,
   }
 }
 
+// ---- container byte filters ----
+// These define the bit-exact semantics every SIMD level must reproduce
+// byte for byte (see the contract note in kernels.h).
+
+void ShuffleBytesScalar(const std::uint8_t* src, std::uint8_t* dst,
+                        std::int64_t nelem, std::int64_t elem) {
+  for (std::int64_t k = 0; k < elem; ++k) {
+    std::uint8_t* plane = dst + k * nelem;
+    const std::uint8_t* from = src + k;
+    for (std::int64_t i = 0; i < nelem; ++i) plane[i] = from[i * elem];
+  }
+}
+
+void UnshuffleBytesScalar(const std::uint8_t* src, std::uint8_t* dst,
+                          std::int64_t nelem, std::int64_t elem) {
+  for (std::int64_t k = 0; k < elem; ++k) {
+    const std::uint8_t* plane = src + k * nelem;
+    std::uint8_t* to = dst + k;
+    for (std::int64_t i = 0; i < nelem; ++i) to[i * elem] = plane[i];
+  }
+}
+
+// 8x8 bit-matrix transpose (Hacker's Delight 7-2): byte i bit j <-> byte j
+// bit i of the little-endian packed word.
+inline std::uint64_t Transpose8x8(std::uint64_t x) {
+  std::uint64_t t;
+  t = (x ^ (x >> 7)) & 0x00AA00AA00AA00AAull;
+  x = x ^ t ^ (t << 7);
+  t = (x ^ (x >> 14)) & 0x0000CCCC0000CCCCull;
+  x = x ^ t ^ (t << 14);
+  t = (x ^ (x >> 28)) & 0x00000000F0F0F0F0ull;
+  x = x ^ t ^ (t << 28);
+  return x;
+}
+
+void BitTransposeScalar(const std::uint8_t* src, std::uint8_t* dst,
+                        std::int64_t n) {
+  const std::int64_t stride = n / 8;
+  for (std::int64_t j = 0; j < stride; ++j) {
+    std::uint64_t x;
+    std::memcpy(&x, src + 8 * j, sizeof x);
+    x = Transpose8x8(x);
+    for (int b = 0; b < 8; ++b) {
+      dst[b * stride + j] = static_cast<std::uint8_t>(x >> (8 * b));
+    }
+  }
+}
+
+void BitUntransposeScalar(const std::uint8_t* src, std::uint8_t* dst,
+                          std::int64_t n) {
+  const std::int64_t stride = n / 8;
+  for (std::int64_t j = 0; j < stride; ++j) {
+    std::uint64_t x = 0;
+    for (int b = 0; b < 8; ++b) {
+      x |= static_cast<std::uint64_t>(src[b * stride + j]) << (8 * b);
+    }
+    x = Transpose8x8(x);
+    std::memcpy(dst + 8 * j, &x, sizeof x);
+  }
+}
+
+void DeltaEncodeScalar(const std::uint8_t* src, std::uint8_t* dst,
+                       std::int64_t n, std::int64_t lag) {
+  const std::int64_t head = std::min(lag, n);
+  for (std::int64_t i = 0; i < head; ++i) dst[i] = src[i];
+  for (std::int64_t i = head; i < n; ++i) {
+    dst[i] = static_cast<std::uint8_t>(src[i] - src[i - lag]);
+  }
+}
+
+void DeltaDecodeScalar(std::uint8_t* buf, std::int64_t n, std::int64_t lag) {
+  for (std::int64_t i = lag; i < n; ++i) {
+    buf[i] = static_cast<std::uint8_t>(buf[i] + buf[i - lag]);
+  }
+}
+
 void BiasActRowScalar(float* row, std::int64_t n, float row_bias,
                       const float* col_bias, int act) {
   if (col_bias != nullptr) {
@@ -110,6 +187,12 @@ const KernelTable kScalarTable = {
     NormAffineScalar,
     NormAffineVecScalar,
     BiasActRowScalar,
+    ShuffleBytesScalar,
+    UnshuffleBytesScalar,
+    BitTransposeScalar,
+    BitUntransposeScalar,
+    DeltaEncodeScalar,
+    DeltaDecodeScalar,
 };
 
 }  // namespace

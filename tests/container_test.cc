@@ -233,7 +233,9 @@ TEST(Container, RejectsRecordOutsideDatasetBounds) {
   DatasetArchive archive("glsc", {1, 8, 16, 16}, 8,
                          std::vector<data::FrameNorm>(8));
   archive.Add(0, 0, 8, Payload(MakeFakeWindow(rng)));
-  auto bytes = archive.Serialize();
+  // The byte surgery below assumes the v3 layout (inline norms + leading
+  // record count); v4 hostile-index coverage lives in container_v4_test.cc.
+  auto bytes = archive.Serialize({.version = 3});
   // Deserialize-but-corrupt path: patch the record's variable varint (first
   // byte after the record count) to 7, outside V=1.
   const DatasetArchive ok = DatasetArchive::Deserialize(bytes);

@@ -122,7 +122,7 @@ std::vector<std::uint8_t> SerializeAsV2(
 TEST(ArchiveReader, V3IndexRoundTrip) {
   const Tensor field = MakeField();
   const core::DatasetArchive archive = EncodeSzArchive(field);
-  const auto bytes = archive.Serialize();
+  const auto bytes = archive.Serialize({.version = 3});
 
   const auto reader = core::ArchiveReader::FromBytes(bytes);
   EXPECT_EQ(reader.codec(), "sz");
@@ -156,8 +156,9 @@ TEST(ArchiveReader, FileBackedV3FetchesOnlyTouchedPayloads) {
   const Tensor field = MakeField(113);
   const core::DatasetArchive archive = EncodeSzArchive(field);
   const std::string path = "/tmp/glsc_serve_test_v3.glsca";
-  archive.WriteFile(path);
-  const std::uint64_t file_bytes = archive.Serialize().size();
+  const auto v3_bytes = archive.Serialize({.version = 3});
+  WriteFileBytes(path, v3_bytes);
+  const std::uint64_t file_bytes = v3_bytes.size();
 
   const auto reader = core::ArchiveReader::FromFile(path);
   ASSERT_EQ(reader.records().size(), 6u);

@@ -5,9 +5,13 @@
 // registrations (native + _scalar).
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstring>
+#include <vector>
 
 #include "api/adapters.h"
+#include "core/archive_reader.h"
+#include "core/container.h"
 #include "core/glsc_compressor.h"
 #include "data/field_generators.h"
 #include "diffusion/sampler.h"
@@ -101,6 +105,43 @@ TEST(WorkspaceTest, NestedScopesRewindInOrder) {
     ws.Allocate(1 << 21);
   }
   EXPECT_EQ(ws.bytes_in_use(), base);
+}
+
+TEST(WorkspaceTest, FilteredArchiveDecodeStaysZeroAllocAtSteadyState) {
+  // The v4 container routes filter/LZ scratch through the workspace; the
+  // zero-heap steady-state invariant must survive a filtered-record decode
+  // loop exactly as it does for the inference paths below.
+  Rng rng(23);
+  std::vector<data::FrameNorm> norms(1 * 16);
+  for (auto& n : norms) {
+    n.mean = rng.NormalF();
+    n.range = 1.0f + rng.UniformF();
+  }
+  core::DatasetArchive archive("sz", {1, 16, 8, 8}, 8, norms);
+  for (std::int64_t t0 = 0; t0 < 16; t0 += 8) {
+    std::vector<std::uint8_t> payload(3000);
+    for (std::size_t i = 0; i < payload.size(); ++i) {
+      payload[i] = static_cast<std::uint8_t>(i / 9 + rng.UniformInt(2));
+    }
+    archive.Add(0, t0, 8, std::move(payload));
+  }
+  const auto reader = core::ArchiveReader::FromBytes(archive.Serialize());
+  Workspace ws;
+  std::vector<std::uint8_t> out;
+  for (std::size_t i = 0; i < reader.records().size(); ++i) {
+    ASSERT_FALSE(reader.records()[i].filter.IsRaw());
+    reader.ReadPayloadInto(i, &out, &ws);
+  }
+  const std::int64_t slabs = ws.stats().slab_allocations;
+  const std::int64_t borrows = ws.stats().borrows;
+  for (int pass = 0; pass < 16; ++pass) {
+    for (std::size_t i = 0; i < reader.records().size(); ++i) {
+      reader.ReadPayloadInto(i, &out, &ws);
+    }
+  }
+  EXPECT_EQ(ws.stats().slab_allocations, slabs)
+      << "filtered decode allocated new slabs at steady state";
+  EXPECT_GT(ws.stats().borrows, borrows);  // scratch really went through ws
 }
 
 TEST(WorkspaceTest, NewTensorAndNewZeroed) {
